@@ -1,0 +1,34 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+namespace slimbench {
+
+slim::sched::PipelineSpec base_spec(const slim::model::TransformerConfig& cfg,
+                                    std::int64_t t, int p, std::int64_t seq,
+                                    int m) {
+  slim::sched::PipelineSpec spec;
+  spec.cfg = cfg;
+  spec.gpu = slim::model::hopper80();
+  spec.shard = {t, 1, 1, 8};
+  spec.policy = slim::model::CheckpointPolicy::None;
+  spec.p = p;
+  spec.m = m;
+  spec.seq = seq;
+  return spec;
+}
+
+void print_banner(const std::string& artifact, const std::string& setup,
+                  const std::string& paper_expectation) {
+  std::printf("\n================================================================\n");
+  std::printf("Reproducing: %s\n", artifact.c_str());
+  std::printf("Setup:       %s\n", setup.c_str());
+  std::printf("Paper shape: %s\n", paper_expectation.c_str());
+  std::printf("================================================================\n");
+}
+
+std::string status_cell(const slim::sched::ScheduleResult& result) {
+  return result.oom ? "OOM" : slim::format_percent(result.mfu);
+}
+
+}  // namespace slimbench

@@ -1,0 +1,40 @@
+#pragma once
+
+// Shared helpers for the benchmark harness. Every bench binary regenerates
+// one table or figure from the paper's evaluation: it prints the measured
+// series (with the paper's qualitative expectation alongside) and registers
+// a google-benchmark timer around the core computation.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/runner.hpp"
+#include "src/core/slice.hpp"
+#include "src/model/transformer.hpp"
+#include "src/parallel/config.hpp"
+#include "src/parallel/search.hpp"
+#include "src/sched/schemes.hpp"
+#include "src/sched/ulysses.hpp"
+#include "src/util/table.hpp"
+#include "src/util/units.hpp"
+
+namespace slimbench {
+
+inline constexpr std::int64_t kMiTokens = 1024 * 1024;
+
+/// Standard single-node shard spec (8-way TP, the paper's default).
+slim::sched::PipelineSpec base_spec(const slim::model::TransformerConfig& cfg,
+                                    std::int64_t t, int p, std::int64_t seq,
+                                    int m);
+
+/// Prints the bench banner: which paper artifact this regenerates and what
+/// shape to expect.
+void print_banner(const std::string& artifact, const std::string& setup,
+                  const std::string& paper_expectation);
+
+/// "ok" / "OOM" / "--" cell helper.
+std::string status_cell(const slim::sched::ScheduleResult& result);
+
+}  // namespace slimbench

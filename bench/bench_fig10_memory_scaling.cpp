@@ -1,0 +1,76 @@
+// Figure 10: measured first/last-device memory of SlimPipe vs the
+// theoretical curve M_t / p, where M_t is the memory required to train the
+// model with 8-way TP alone. The paper uses maximum interleaving
+// (stages per device = L / p) and sequence lengths 32K/64K/96K.
+
+#include "bench_common.hpp"
+
+using namespace slim;
+
+namespace {
+
+struct Point {
+  double first_dev, last_dev;
+};
+
+Point measure(std::int64_t seq, int p) {
+  const auto cfg = model::llama13b();
+  auto spec = slimbench::base_spec(cfg, 8, p, seq, 4);
+  spec.v = static_cast<int>(cfg.layers / p);  // maximum interleaving
+  spec.n = 4 * p;
+  spec.vocab_parallel = true;
+  spec.context_exchange = true;
+  const auto r = core::run_scheme(core::Scheme::SlimPipe, spec);
+  return {r.first_device_memory, r.last_device_memory};
+}
+
+double theoretical_mt(std::int64_t seq) {
+  const auto cfg = model::llama13b();
+  const model::Shard shard{8, 1, 1, 8};
+  const double states = model::model_state_bytes(
+      cfg, shard, static_cast<double>(cfg.layers), 1.0, 1);
+  const double act =
+      model::act_bytes_per_token_layer(cfg, shard,
+                                       model::CheckpointPolicy::None, true) *
+      static_cast<double>(seq) * static_cast<double>(cfg.layers);
+  const double logits = model::logits_bytes(cfg, shard, seq, 1);
+  return states + act + logits;
+}
+
+}  // namespace
+
+static void BM_Figure10(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure(64 * 1024, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Figure10)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  slimbench::print_banner(
+      "Figure 10 — memory reduced by the PP size",
+      "Llama 13B, t=8, sequences 32K/64K/96K, p from 2 to 8, maximum "
+      "interleaving (v = L/p), n = 4p",
+      "both devices track M_t/p: nearly all training memory is distributed "
+      "by PP; the first device sits slightly above the last "
+      "(gap = 2(p-1)M_a/nvp)");
+
+  Table table({"seq", "p", "M_t/p (theory)", "first device", "last device",
+               "first/theory"});
+  for (std::int64_t seq : {32 * 1024, 64 * 1024, 96 * 1024}) {
+    const double mt = theoretical_mt(seq);
+    for (int p : {2, 4, 8}) {
+      const Point pt = measure(seq, p);
+      table.add_row({format_context(seq), fmt(static_cast<std::int64_t>(p)),
+                     format_bytes(mt / p), format_bytes(pt.first_dev),
+                     format_bytes(pt.last_dev),
+                     fmt(pt.first_dev / (mt / p), 2)});
+    }
+    table.add_separator();
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 11: how the number of slices n affects training efficiency.
+// Fine-grained slicing first helps (fewer bubbles) then hurts (arithmetic
+// intensity of short slices collapses); the turnover point moves right as
+// the context grows.
+
+#include "bench_common.hpp"
+
+using namespace slim;
+
+namespace {
+
+sched::ScheduleResult run(std::int64_t seq, int n) {
+  auto spec = slimbench::base_spec(model::llama13b(), 8, 4, seq, 2);
+  spec.policy = model::CheckpointPolicy::Full;
+  spec.v = 5;
+  spec.n = n;
+  spec.vocab_parallel = true;
+  spec.context_exchange = true;
+  return core::run_scheme(core::Scheme::SlimPipe, spec);
+}
+
+}  // namespace
+
+static void BM_Figure11(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run(256 * 1024, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Figure11)->Arg(4)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  slimbench::print_banner(
+      "Figure 11 — MFU vs number of slices per sequence",
+      "Llama 13B, t=8, p=4, v=5, m=2, full checkpointing, contexts "
+      "128K/256K/512K, n from p to 8p",
+      "MFU rises then falls as n grows; the 128K curve drops sharply after "
+      "n = 2p while 512K stays high out to n = 8p");
+
+  Table table({"n", "slice @128K", "MFU @128K", "MFU @256K", "MFU @512K"});
+  for (int mult : {1, 2, 4, 8}) {
+    const int n = 4 * mult;
+    std::vector<std::string> row = {fmt(static_cast<std::int64_t>(n))};
+    row.push_back(format_context(128 * 1024 / n));
+    for (std::int64_t seq : {128 * 1024, 256 * 1024, 512 * 1024}) {
+      const auto r = run(seq, n);
+      row.push_back(slimbench::status_cell(r));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 12: end-to-end system comparison — DeepSpeed (ZeRO-3 + Ulysses),
+// Megatron-LM (interleaved 1F1B) and SlimPipe — across four models, context
+// lengths 64K..512K and 128/256/512 GPUs, with 4M tokens per iteration and
+// per-cell grid-searched hybrid-parallelism configurations.
+//
+// Cell markers follow the paper: "--" = no viable configuration (green
+// triangle), "OOM" = every configuration ran out of memory (red cross).
+
+#include "bench_common.hpp"
+
+using namespace slim;
+
+namespace {
+
+constexpr std::int64_t kTokens = 4 * slimbench::kMiTokens;
+
+struct Cell {
+  std::string deepspeed, megatron, slimpipe, speedup;
+  std::string slim_cfg;
+};
+
+Cell evaluate(const model::TransformerConfig& cfg, int gpus,
+              std::int64_t seq) {
+  Cell cell;
+  const auto gpu = model::hopper80();
+
+  const auto ds = sched::best_ulysses(cfg, gpu, gpus, seq, kTokens);
+  switch (ds.status) {
+    case sched::UlyssesStatus::Ok:
+      cell.deepspeed = format_percent(ds.mfu);
+      break;
+    case sched::UlyssesStatus::NoViableConfig:
+      cell.deepspeed = "--";
+      break;
+    case sched::UlyssesStatus::Oom:
+      cell.deepspeed = "OOM";
+      break;
+  }
+
+  parallel::SearchOptions opts;
+  opts.simulate_top_k = 8;
+  const auto mega = parallel::grid_search(cfg, gpu, gpus, seq, kTokens,
+                                          core::Scheme::Interleaved1F1B, opts);
+  const auto slim = parallel::grid_search(cfg, gpu, gpus, seq, kTokens,
+                                          core::Scheme::SlimPipe, opts);
+  cell.megatron = mega.status == parallel::SearchStatus::Ok
+                      ? format_percent(mega.result.mfu)
+                      : (mega.status == parallel::SearchStatus::AllOom ? "OOM"
+                                                                       : "--");
+  cell.slimpipe = slim.status == parallel::SearchStatus::Ok
+                      ? format_percent(slim.result.mfu)
+                      : (slim.status == parallel::SearchStatus::AllOom ? "OOM"
+                                                                       : "--");
+  if (slim.status == parallel::SearchStatus::Ok) {
+    cell.slim_cfg = slim.best.describe();
+    if (mega.status == parallel::SearchStatus::Ok) {
+      cell.speedup = fmt(slim.result.mfu / mega.result.mfu, 2) + "x";
+    } else {
+      cell.speedup = "(baseline failed)";
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+static void BM_Fig12Cell(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        evaluate(model::mixtral8x7b(), 128, 256 * 1024));
+  }
+}
+BENCHMARK(BM_Fig12Cell)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  slimbench::print_banner(
+      "Figure 12 — end-to-end MFU: DeepSpeed vs Megatron-LM vs SlimPipe",
+      "4M tokens/iteration, grid-searched configurations per cell; "
+      "contexts 64K-512K, 128/256/512 GPUs",
+      "SlimPipe leads everywhere; the margin grows with context length and "
+      "model size (up to ~1.57x in the paper); DeepSpeed hits 'no viable "
+      "configuration' at 512K/128+ GPUs; Megatron OOMs on large models at "
+      "512K");
+
+  const std::vector<std::pair<model::TransformerConfig, std::vector<int>>>
+      grid = {{model::mixtral8x7b(), {128, 256, 512}},
+              {model::llama70b(), {128, 256}},
+              {model::mixtral8x22b(), {256, 512}},
+              {model::llama149b(), {256, 512}}};
+
+  for (const auto& [cfg, gpu_counts] : grid) {
+    std::printf("\n--- %s ---\n", cfg.name.c_str());
+    for (int gpus : gpu_counts) {
+      Table table({"context", "DeepSpeed", "Megatron-LM", "SlimPipe",
+                   "speedup", "SlimPipe config"});
+      for (std::int64_t seq :
+           {64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024}) {
+        const Cell cell = evaluate(cfg, gpus, seq);
+        table.add_row({format_context(seq), cell.deepspeed, cell.megatron,
+                       cell.slimpipe, cell.speedup, cell.slim_cfg});
+      }
+      std::printf("%d GPUs:\n%s\n", gpus, table.to_string().c_str());
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

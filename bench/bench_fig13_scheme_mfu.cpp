@@ -1,0 +1,74 @@
+// Figure 13: MFU of the pipeline schemes on Llama 13B as the context grows
+// from 32K to 512K. Per the paper's setup: per-iteration batch 4, 8-way TP,
+// full checkpointing (ZB-V/V-Half run without — their checkpointing is
+// broken), 5 stages per device for interleaved 1F1B and SlimPipe, 4 slices
+// for SlimPipe.
+
+#include "bench_common.hpp"
+
+using namespace slim;
+
+namespace {
+
+// n = 4 must be a multiple of p, so the pipeline size is 4 (Llama 13B's 40
+// layers then give the 5 stages per device used by the paper: p*v = 20).
+constexpr int kP = 4;
+constexpr int kM = 4;
+
+sched::ScheduleResult run(core::Scheme scheme, std::int64_t seq) {
+  auto spec = slimbench::base_spec(model::llama13b(), 8, kP, seq, kM);
+  spec.policy = model::CheckpointPolicy::Full;
+  switch (scheme) {
+    case core::Scheme::Interleaved1F1B:
+      spec.v = 5;
+      break;
+    case core::Scheme::SlimPipe:
+      spec.v = 5;
+      spec.n = 4;
+      spec.vocab_parallel = true;
+      spec.context_exchange = true;
+      break;
+    default:
+      break;
+  }
+  return core::run_scheme(scheme, spec);
+}
+
+const std::vector<core::Scheme> kSchemes = {
+    core::Scheme::OneF1B, core::Scheme::Interleaved1F1B, core::Scheme::ZBV,
+    core::Scheme::VHalf, core::Scheme::SlimPipe};
+
+}  // namespace
+
+static void BM_Fig13(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run(core::Scheme::SlimPipe, 256 * 1024));
+  }
+}
+BENCHMARK(BM_Fig13)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  slimbench::print_banner(
+      "Figure 13 — MFU across PP schemes vs context length",
+      "Llama 13B, batch 4, t=8, p=4, full checkpointing, v=5 for "
+      "interleaved/SlimPipe, n=4 for SlimPipe",
+      "ZB-V OOMs early; V-Half a bit later; 1F1B runs to 256K at low MFU; "
+      "interleaved competitive at short context; SlimPipe highest "
+      "everywhere");
+
+  Table table({"context", "1F1B", "Interleaved", "ZB-V", "V-Half",
+               "SlimPipe"});
+  for (std::int64_t seq :
+       {32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024}) {
+    std::vector<std::string> row = {format_context(seq)};
+    for (const auto scheme : kSchemes) {
+      row.push_back(slimbench::status_cell(run(scheme, seq)));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

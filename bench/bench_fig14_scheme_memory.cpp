@@ -1,0 +1,75 @@
+// Figure 14: peak GPU memory of the pipeline schemes in the same sweep as
+// Figure 13. ZB-V's accumulation (no working checkpointing) blows the
+// 80 GiB budget first, V-Half follows; 1F1B with full checkpointing
+// survives to 256K; SlimPipe stays far below everyone at every length.
+
+#include "bench_common.hpp"
+
+using namespace slim;
+
+namespace {
+
+constexpr int kP = 4;
+constexpr int kM = 4;
+
+sched::ScheduleResult run(core::Scheme scheme, std::int64_t seq) {
+  auto spec = slimbench::base_spec(model::llama13b(), 8, kP, seq, kM);
+  spec.policy = model::CheckpointPolicy::Full;
+  switch (scheme) {
+    case core::Scheme::Interleaved1F1B:
+      spec.v = 5;
+      break;
+    case core::Scheme::SlimPipe:
+      spec.v = 5;
+      spec.n = 4;
+      spec.vocab_parallel = true;
+      spec.context_exchange = true;
+      break;
+    default:
+      break;
+  }
+  return core::run_scheme(scheme, spec);
+}
+
+const std::vector<core::Scheme> kSchemes = {
+    core::Scheme::OneF1B, core::Scheme::Interleaved1F1B, core::Scheme::ZBV,
+    core::Scheme::VHalf, core::Scheme::SlimPipe};
+
+std::string cell(const sched::ScheduleResult& r) {
+  std::string s = format_bytes(r.peak_memory);
+  if (r.oom) s += " (OOM)";
+  return s;
+}
+
+}  // namespace
+
+static void BM_Fig14(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run(core::Scheme::OneF1B, 128 * 1024));
+  }
+}
+BENCHMARK(BM_Fig14)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  slimbench::print_banner(
+      "Figure 14 — peak GPU memory across PP schemes vs context length",
+      "same sweep as Figure 13; 80 GiB Hopper budget",
+      "ZB-V exceeds the budget first (its checkpointing is broken), V-Half "
+      "next; SlimPipe lowest at every context length");
+
+  Table table({"context", "1F1B", "Interleaved", "ZB-V", "V-Half",
+               "SlimPipe"});
+  for (std::int64_t seq :
+       {32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024}) {
+    std::vector<std::string> row = {format_context(seq)};
+    for (const auto scheme : kSchemes) {
+      row.push_back(cell(run(scheme, seq)));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 2: maximum context length supported by each pipeline scheme when
+// training Llama 7B with 8-way TP and 8-way PP (64 GPUs, one sequence per
+// iteration). SlimPipe's inverse-in-p activation memory pushes the limit
+// far beyond the classic schemes.
+
+#include "bench_common.hpp"
+
+using namespace slim;
+
+namespace {
+
+constexpr std::int64_t kGranularity = 16 * 1024;
+constexpr std::int64_t kLimit = 4096 * 1024;
+
+std::int64_t max_ctx(core::Scheme scheme) {
+  return parallel::max_supported_context(scheme, model::llama7b(),
+                                         model::hopper80(), 8, 8,
+                                         kGranularity, kLimit);
+}
+
+}  // namespace
+
+static void BM_Figure2MaxContext(benchmark::State& state) {
+  const auto scheme = static_cast<core::Scheme>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_ctx(scheme));
+  }
+}
+BENCHMARK(BM_Figure2MaxContext)
+    ->Arg(static_cast<int>(core::Scheme::OneF1B))
+    ->Arg(static_cast<int>(core::Scheme::SlimPipe))
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  slimbench::print_banner(
+      "Figure 2 — maximum supported context length per PP scheme",
+      "Llama 7B, t=8, p=8 (64 GPUs), 1 sequence/iteration, best checkpoint "
+      "policy per scheme, no offloading",
+      "GPipe/TeraPipe lowest, 1F1B moderate, interleaved/V-shaped similar, "
+      "SlimPipe several times larger");
+
+  Table table({"scheme", "max context", "vs 1F1B"});
+  const std::int64_t baseline = max_ctx(core::Scheme::OneF1B);
+  for (const auto scheme : core::all_schemes()) {
+    const std::int64_t ctx = max_ctx(scheme);
+    table.add_row({core::scheme_name(scheme), format_context(ctx),
+                   baseline > 0 ? fmt(static_cast<double>(ctx) /
+                                          static_cast<double>(baseline),
+                                      2) + "x"
+                                : "-"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

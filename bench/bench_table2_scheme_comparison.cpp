@@ -1,0 +1,109 @@
+// Table 2: comparison between pipeline schemes — activation memory (as a
+// fraction of M_a) and bubble fraction. The closed-form entries are printed
+// next to byte-exact simulator measurements (vocabulary shrunk so logits do
+// not contaminate the activation comparison).
+
+#include "bench_common.hpp"
+
+using namespace slim;
+
+namespace {
+
+constexpr int kP = 4, kM = 8, kN = 16, kV = 2;
+constexpr std::int64_t kSeq = 64 * 1024;
+
+sched::PipelineSpec spec_for(core::Scheme scheme) {
+  auto spec = slimbench::base_spec(model::llama13b(), 8, kP, kSeq, kM);
+  spec.cfg.vocab = 4000;  // isolate activations from logits
+  switch (scheme) {
+    case core::Scheme::TeraPipe:
+      spec.n = kN;
+      break;
+    case core::Scheme::Interleaved1F1B:
+      spec.v = kV;
+      break;
+    case core::Scheme::SlimPipe:
+      spec.n = kN;
+      spec.v = kV;
+      spec.vocab_parallel = true;
+      spec.context_exchange = true;
+      break;
+    default:
+      break;
+  }
+  return spec;
+}
+
+double measured_activation_fraction(core::Scheme scheme) {
+  auto spec = spec_for(scheme);
+  const auto r = core::run_scheme(scheme, spec);
+  const bool retain =
+      scheme == core::Scheme::SlimPipe || scheme == core::Scheme::TeraPipe;
+  const double per_token = model::act_bytes_per_token_layer(
+      spec.cfg, spec.shard,
+      (scheme == core::Scheme::ZBV || scheme == core::Scheme::VHalf)
+          ? model::CheckpointPolicy::None
+          : spec.policy,
+      retain);
+  const double ma = per_token * static_cast<double>(kSeq) *
+                    static_cast<double>(spec.cfg.layers);
+  const double states = model::model_state_bytes(
+      spec.cfg, spec.shard,
+      static_cast<double>(spec.cfg.layers) / kP,
+      scheme == core::Scheme::SlimPipe ? 1.0 / kP : 1.0, 1);
+  return (r.first_device_memory - states) / ma;
+}
+
+double table2_fraction(core::Scheme scheme) {
+  switch (scheme) {
+    case core::Scheme::GPipe:
+    case core::Scheme::TeraPipe:
+      return core::gpipe_activation_fraction(kM, kP);
+    case core::Scheme::OneF1B:
+      return core::onef1b_activation_fraction(kM, kP);
+    case core::Scheme::Interleaved1F1B:
+      return core::interleaved_activation_fraction(kP, kV);
+    case core::Scheme::ZBV:
+      return 1.0;
+    case core::Scheme::VHalf:
+      return core::vhalf_activation_fraction(kP);
+    case core::Scheme::VMin:
+      return core::vmin_activation_fraction(kP);
+    case core::Scheme::SlimPipe:
+      return core::slimpipe_activation_fraction(kP, kN, kV);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+static void BM_Table2(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const auto scheme : core::all_schemes()) {
+      benchmark::DoNotOptimize(core::run_scheme(scheme, spec_for(scheme)));
+    }
+  }
+}
+BENCHMARK(BM_Table2)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  slimbench::print_banner(
+      "Table 2 — activation memory and bubble fraction per scheme",
+      "Llama 13B (tiny vocab), t=8, p=4, m=8, n=16, v=2, 64K context",
+      "activation (xM_a): GPipe/TeraPipe m/p=2.0, 1F1B 1.0, interleaved "
+      "1+(p-1)/vp=1.375, ZB-V 1.0, V-Half 0.75, SlimPipe 1/p+2(p-1)/nvp=0.30; "
+      "bubbles: TeraPipe/interleaved/ZB-V small, SlimPipe smallest");
+
+  Table table({"scheme", "act (Table 2)", "act (measured)", "bubble"});
+  for (const auto scheme : core::all_schemes()) {
+    const auto r = core::run_scheme(scheme, spec_for(scheme));
+    table.add_row({core::scheme_name(scheme), fmt(table2_fraction(scheme), 3),
+                   fmt(measured_activation_fraction(scheme), 3),
+                   format_percent(r.bubble_fraction)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Table 4: ultra-long-context training with pipeline-parallelism-aware
+// activation offloading — the paper's exact configurations, 16M tokens per
+// iteration, selective checkpointing, on up to 256 GPUs.
+
+#include "bench_common.hpp"
+
+using namespace slim;
+
+namespace {
+
+struct Config {
+  model::TransformerConfig cfg;
+  std::int64_t context;
+  std::int64_t t, c, e, d, p;
+  int n_mult;  // n = n_mult * p
+  double offload;
+  double paper_mfu;
+};
+
+std::vector<Config> table4_configs() {
+  // Last row deviation: the paper uses p=28 (224 GPUs); a 2048K (2^21)
+  // sequence cannot be sliced uniformly into n=4*28 pieces, so we run the
+  // nearest power-of-two pipeline, p=32 on 256 GPUs, with uneven stage
+  // splits (56 layers over 32 stages).
+  return {
+      {model::llama70b(), 2048 * 1024, 4, 4, 1, 1, 16, 4, 0.75, 0.450},
+      {model::llama149b(), 1024 * 1024, 4, 2, 1, 1, 32, 2, 0.80, 0.437},
+      {model::mixtral8x7b(), 4096 * 1024, 1, 16, 8, 1, 16, 4, 0.95, 0.400},
+      {model::mixtral8x22b(), 2048 * 1024, 1, 8, 8, 1, 32, 4, 1.00, 0.420},
+  };
+}
+
+sched::ScheduleResult run(const Config& c) {
+  parallel::HybridConfig hybrid;
+  hybrid.t = c.t;
+  hybrid.c = c.c;
+  hybrid.e = c.e;
+  hybrid.d = c.d;
+  hybrid.p = c.p;
+  hybrid.n = static_cast<int>(c.n_mult * c.p);
+  hybrid.v = 1;
+  hybrid.policy = model::CheckpointPolicy::Selective;
+  hybrid.offload_ratio = c.offload;
+  hybrid.scheme = core::Scheme::SlimPipe;
+  auto spec = parallel::make_spec(hybrid, c.cfg, model::hopper80(), c.context,
+                                  16 * slimbench::kMiTokens);
+  return core::run_scheme(core::Scheme::SlimPipe, spec);
+}
+
+}  // namespace
+
+static void BM_Table4(benchmark::State& state) {
+  const auto configs = table4_configs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run(configs[0]));
+  }
+}
+BENCHMARK(BM_Table4)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  slimbench::print_banner(
+      "Table 4 — ultra-long-context training with activation offloading",
+      "paper's exact configurations: 16M tokens/iteration, selective "
+      "checkpointing, adaptive offload ratio, <= 256 GPUs",
+      "all four models train at their maximum context (up to 4096K for "
+      "Mixtral 8x7B) with 40-45% MFU");
+
+  Table table({"model", "context", "t", "c", "e", "d", "p", "n", "offload",
+               "paper MFU", "measured MFU", "peak memory", "fits"});
+  for (const Config& c : table4_configs()) {
+    const auto r = run(c);
+    table.add_row({c.cfg.name, format_context(c.context), fmt(c.t), fmt(c.c),
+                   fmt(c.e), fmt(c.d), fmt(c.p),
+                   std::to_string(c.n_mult) + "p",
+                   format_percent(c.offload), format_percent(c.paper_mfu),
+                   format_percent(r.mfu), format_bytes(r.peak_memory),
+                   r.oom ? "NO" : "yes"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Ablation: the same configurations without offloading must OOM.
+  slimbench::print_banner(
+      "Table 4 ablation — same configurations without offloading",
+      "offload ratio forced to zero",
+      "every configuration exceeds the 80 GiB device");
+  Table ab({"model", "context", "peak memory w/o offload", "fits"});
+  for (Config c : table4_configs()) {
+    c.offload = 0.0;
+    const auto r = run(c);
+    ab.add_row({c.cfg.name, format_context(c.context),
+                format_bytes(r.peak_memory), r.oom ? "NO" : "yes"});
+  }
+  std::printf("%s\n", ab.to_string().c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "src/core/runner.hpp"
+
+#include "src/core/slimpipe.hpp"
+#include "src/sched/schemes.hpp"
+#include "src/util/logging.hpp"
+
+namespace slim::core {
+
+const char* scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::GPipe: return "GPipe";
+    case Scheme::TeraPipe: return "TeraPipe";
+    case Scheme::OneF1B: return "1F1B";
+    case Scheme::Interleaved1F1B: return "Interleaved 1F1B";
+    case Scheme::ZBV: return "ZB-V";
+    case Scheme::VHalf: return "V-Half";
+    case Scheme::VMin: return "V-Min";
+    case Scheme::SlimPipe: return "SlimPipe";
+  }
+  return "?";
+}
+
+std::vector<Scheme> all_schemes() {
+  return {Scheme::GPipe,  Scheme::TeraPipe, Scheme::OneF1B,
+          Scheme::Interleaved1F1B, Scheme::ZBV, Scheme::VHalf,
+          Scheme::VMin, Scheme::SlimPipe};
+}
+
+sched::ScheduleResult run_scheme(Scheme scheme, sched::PipelineSpec spec,
+                                 bool want_timeline) {
+  switch (scheme) {
+    case Scheme::GPipe:
+      return sched::run_gpipe(std::move(spec), want_timeline);
+    case Scheme::TeraPipe:
+      return sched::run_terapipe(std::move(spec), want_timeline);
+    case Scheme::OneF1B:
+      return sched::run_onef1b(std::move(spec), want_timeline);
+    case Scheme::Interleaved1F1B:
+      return sched::run_interleaved(std::move(spec), want_timeline);
+    case Scheme::ZBV:
+      return sched::run_zbv(std::move(spec), want_timeline);
+    case Scheme::VHalf:
+      return sched::run_vhalf(std::move(spec), want_timeline);
+    case Scheme::VMin:
+      return sched::run_vmin(std::move(spec), want_timeline);
+    case Scheme::SlimPipe:
+      return run_slimpipe(std::move(spec), want_timeline);
+  }
+  SLIM_CHECK(false, "unknown scheme");
+  return {};
+}
+
+}  // namespace slim::core

@@ -1,0 +1,35 @@
+#pragma once
+
+// Public façade: run any pipeline scheme on a spec and compare schemes.
+// This is the main entry point a downstream user of the library calls.
+
+#include <string>
+#include <vector>
+
+#include "src/sched/schedule.hpp"
+
+namespace slim::core {
+
+enum class Scheme : int {
+  GPipe,
+  TeraPipe,
+  OneF1B,
+  Interleaved1F1B,
+  ZBV,
+  VHalf,
+  VMin,
+  SlimPipe,
+};
+
+const char* scheme_name(Scheme scheme);
+std::vector<Scheme> all_schemes();
+
+/// Runs one simulated training iteration under the given scheme.
+/// Scheme-specific knobs on the spec (layout, retain_kv, ...) are
+/// normalized by the scheme's runner; schedule-relevant ones (p, v, n, m,
+/// policy, vocab_parallel, context_exchange) are honored where the scheme
+/// supports them.
+sched::ScheduleResult run_scheme(Scheme scheme, sched::PipelineSpec spec,
+                                 bool want_timeline = false);
+
+}  // namespace slim::core

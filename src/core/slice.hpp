@@ -1,0 +1,103 @@
+#pragma once
+
+// Uniform-slicing arithmetic (paper §4.1.3, Table 2).
+//
+// All quantities are expressed as fractions of M_a, the total activation
+// size of one microbatch across the whole model.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/util/logging.hpp"
+
+namespace slim::core {
+
+/// Warm-up forward count of pipeline device `rank` (0-based): the device
+/// accumulates all n*v slice-units of the first microbatch plus two units
+/// per remaining pipeline hop while the first backward round-trips.
+inline int slimpipe_warmup_units(int p, int rank, int n, int v) {
+  SLIM_CHECK(p >= 1 && rank >= 0 && rank < p && n >= 1 && v >= 1,
+             "bad warmup query");
+  return n * v + 2 * (p - 1 - rank);
+}
+
+/// Eq. 1's delta: the warm-up overshoot relative to M_a / p (v = 1 form).
+inline double slimpipe_delta(int p, int n) {
+  return 2.0 * static_cast<double>(p - 1) / static_cast<double>(n);
+}
+
+/// Peak accumulated activation as a fraction of M_a (Table 2 row SlimPipe):
+/// 1/p + 2(p-1)/(n v p).
+inline double slimpipe_activation_fraction(int p, int n, int v) {
+  return 1.0 / static_cast<double>(p) +
+         2.0 * static_cast<double>(p - 1) /
+             (static_cast<double>(n) * static_cast<double>(v) *
+              static_cast<double>(p));
+}
+
+/// Table 2 activation fractions of the baselines (of M_a).
+inline double gpipe_activation_fraction(int m, int p) {
+  // All m microbatches of the device's stage accumulate: m * (M_a / p).
+  return static_cast<double>(m) / static_cast<double>(p);
+}
+inline double onef1b_activation_fraction(int m, int p) {
+  // p in-flight microbatches on device 0 (fewer when m < p).
+  return std::min(1.0, static_cast<double>(m) / static_cast<double>(p));
+}
+inline double interleaved_activation_fraction(int p, int v) {
+  return 1.0 + static_cast<double>(p - 1) /
+                   (static_cast<double>(v) * static_cast<double>(p));
+}
+inline double vhalf_activation_fraction(int p) {
+  return 0.5 + 1.0 / static_cast<double>(p);
+}
+inline double vmin_activation_fraction(int p) {
+  // V-Min targets 1/3 of 1F1B; our schedule adds two stage units of
+  // headroom: cap = max(4, 2p/3 + 2) stage units out of 2p.
+  const double cap = std::max(4.0, 2.0 * p / 3.0 + 2.0);
+  return cap / (2.0 * static_cast<double>(p));
+}
+
+/// Warm-up bubble-fraction upper bound of SlimPipe (Table 2): (p-1)/(n v m).
+inline double slimpipe_bubble_bound(int p, int n, int v, int m) {
+  return static_cast<double>(p - 1) /
+         (static_cast<double>(n) * static_cast<double>(v) *
+          static_cast<double>(m));
+}
+
+/// Asymptotic bubble fraction with attention-dominated compute (Table 2
+/// footnote): (p-1) p / ((n+1) n m), for the non-interleaved form.
+inline double slimpipe_bubble_asymptotic(int p, int n, int m) {
+  return static_cast<double>(p - 1) * static_cast<double>(p) /
+         ((static_cast<double>(n) + 1.0) * static_cast<double>(n) *
+          static_cast<double>(m));
+}
+
+/// Classic 1F1B / GPipe warm-up bubble fraction: (p-1)/m.
+inline double onef1b_bubble_fraction(int p, int m) {
+  return static_cast<double>(p - 1) / static_cast<double>(m);
+}
+
+/// Interleaved 1F1B bubble fraction: (p-1)/(v m).
+inline double interleaved_bubble_fraction(int p, int v, int m) {
+  return static_cast<double>(p - 1) /
+         (static_cast<double>(v) * static_cast<double>(m));
+}
+
+/// Eq. 2: upper bound on the context-exchange volume per microbatch per
+/// device, in bytes, given L layers and a full-sequence embedding of
+/// `m_h_bytes` (per device shard). The slice KV fraction `kv_ratio` scales
+/// the K+V terms relative to Q/O (kv_hidden / hidden).
+inline double exchange_volume_bound(int p, int n, std::int64_t layers,
+                                    double m_h_bytes, double kv_ratio) {
+  const double L = static_cast<double>(layers);
+  const double q_o = 2.0 * static_cast<double>(n);
+  const double kv_mid = 2.0 * static_cast<double>(n - p + 1) *
+                        static_cast<double>((p - 1) / 2);
+  const double kv_juncture = 2.0 * static_cast<double>(p - 1) *
+                             static_cast<double>((n - 1) / 2);
+  return (q_o + (kv_mid + kv_juncture) * kv_ratio) * L * m_h_bytes /
+         (static_cast<double>(p) * static_cast<double>(n));
+}
+
+}  // namespace slim::core

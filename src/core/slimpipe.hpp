@@ -1,0 +1,24 @@
+#pragma once
+
+// SlimPipe (paper §4): fine-grained pipeline parallelism with uniform
+// sequence slicing, slice-level 1F1B scheduling, LIFO backward order, KV
+// chunk reuse, attention context exchange and vocabulary parallelism.
+
+#include <vector>
+
+#include "src/sched/builder.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace slim::core {
+
+/// Per-device pass programs for SlimPipe (both the plain and interleaved
+/// forms; v == 1 gives Figure 4's schedule, v > 1 Figure 5's).
+std::vector<sched::DeviceProgram> slimpipe_programs(
+    const sched::PipelineSpec& spec);
+
+/// Normalizes the spec (layout, KV retention) and simulates one iteration.
+/// Context exchange and vocabulary parallelism follow the spec's flags.
+sched::ScheduleResult run_slimpipe(sched::PipelineSpec spec,
+                                   bool want_timeline = false);
+
+}  // namespace slim::core

@@ -1,0 +1,102 @@
+#include "src/memory/kv_pool.hpp"
+
+#include <algorithm>
+
+#include "src/util/logging.hpp"
+
+namespace slim::mem {
+
+ChunkedKvPool::ChunkedKvPool(double chunk_bytes) : chunk_bytes_(chunk_bytes) {
+  SLIM_CHECK(chunk_bytes > 0.0, "chunk size must be positive");
+}
+
+int ChunkedKvPool::acquire() {
+  int chunk;
+  if (!free_.empty()) {
+    chunk = free_.back();
+    free_.pop_back();
+  } else {
+    chunk = static_cast<int>(owned_.size());
+    owned_.push_back(true);
+  }
+  ++live_;
+  peak_live_ = std::max(peak_live_, live_);
+  return chunk;
+}
+
+void ChunkedKvPool::release(int chunk) {
+  SLIM_CHECK(chunk >= 0 && static_cast<std::size_t>(chunk) < owned_.size(),
+             "releasing unknown chunk");
+  SLIM_CHECK(live_ > 0, "double release");
+  free_.push_back(chunk);
+  --live_;
+}
+
+ContiguousKvModel::ContiguousKvModel(double slice_bytes)
+    : slice_bytes_(slice_bytes) {
+  SLIM_CHECK(slice_bytes > 0.0, "slice size must be positive");
+}
+
+double ContiguousKvModel::alloc_block(double bytes) {
+  // Best-fit from the non-coalescing free list; otherwise reserve new.
+  double best = -1.0;
+  std::size_t best_idx = 0;
+  for (std::size_t i = 0; i < free_blocks_.size(); ++i) {
+    if (free_blocks_[i] >= bytes &&
+        (best < 0.0 || free_blocks_[i] < best)) {
+      best = free_blocks_[i];
+      best_idx = i;
+    }
+  }
+  if (best >= 0.0) {
+    // The block is consumed whole: the remainder is stranded (no split —
+    // mirrors CUDA caching-allocator behaviour for large blocks).
+    free_blocks_.erase(free_blocks_.begin() +
+                       static_cast<std::ptrdiff_t>(best_idx));
+    return best;
+  }
+  reserved_ += bytes;
+  peak_reserved_ = std::max(peak_reserved_, reserved_);
+  return bytes;
+}
+
+void ContiguousKvModel::grow() {
+  const std::int64_t new_slices = live_slices_ + 1;
+  if (new_slices > buffer_slices_) {
+    // Allocate the grown buffer while the old one is still live (copy).
+    const double new_bytes = slice_bytes_ * static_cast<double>(new_slices);
+    const double got = alloc_block(new_bytes);
+    if (buffer_slices_ > 0) {
+      free_blocks_.push_back(slice_bytes_ *
+                             static_cast<double>(buffer_slices_));
+    }
+    buffer_slices_ = new_slices;
+    (void)got;
+  }
+  live_slices_ = new_slices;
+  peak_live_payload_ = std::max(
+      peak_live_payload_, slice_bytes_ * static_cast<double>(live_slices_));
+}
+
+void ContiguousKvModel::shrink() {
+  SLIM_CHECK(live_slices_ > 0, "shrink of empty cache");
+  --live_slices_;
+}
+
+void ContiguousKvModel::reset() {
+  if (buffer_slices_ > 0) {
+    free_blocks_.push_back(slice_bytes_ * static_cast<double>(buffer_slices_));
+  }
+  buffer_slices_ = 0;
+  live_slices_ = 0;
+}
+
+double ContiguousKvModel::current_bytes() const {
+  return slice_bytes_ * static_cast<double>(live_slices_);
+}
+
+double ContiguousKvModel::fragmentation_bytes() const {
+  return peak_reserved_ - peak_live_payload_;
+}
+
+}  // namespace slim::mem

@@ -1,0 +1,94 @@
+#pragma once
+
+// Chunked KV cache pool (paper §5 "Chunked KV Cache").
+//
+// SlimPipe stores the KV cache as a list of slice-sized chunks instead of a
+// single contiguous tensor. Because uniform slicing makes every chunk the
+// same size, a freed chunk is always perfectly reusable by the next
+// acquisition — between adjacent microbatches "the backward pass releases
+// one and the forward pass acquires one". The contiguous alternative
+// re-allocates a growing buffer and, in a non-coalescing caching allocator,
+// strands freed blocks that are too small for the next (larger) request.
+//
+// Both policies are modelled here so the fragmentation claim can be measured
+// (ablation in bench_fig6_slices_sweep / tests).
+
+#include <cstdint>
+#include <vector>
+
+namespace slim::mem {
+
+/// Slice-sized chunk pool. acquire() reuses a free chunk when available.
+class ChunkedKvPool {
+ public:
+  explicit ChunkedKvPool(double chunk_bytes);
+
+  /// Returns a chunk id. Reuses the most recently freed chunk if any.
+  int acquire();
+
+  /// Releases a previously acquired chunk back to the pool.
+  void release(int chunk);
+
+  double chunk_bytes() const { return chunk_bytes_; }
+  int live_chunks() const { return live_; }
+  int allocated_chunks() const { return static_cast<int>(owned_.size()); }
+
+  /// Peak simultaneously-live chunks.
+  int peak_live() const { return peak_live_; }
+
+  /// Bytes the pool holds from the allocator (high-water mark).
+  double reserved_bytes() const {
+    return chunk_bytes_ * static_cast<double>(owned_.size());
+  }
+
+  /// Wasted bytes: reserved minus the peak that was actually needed (0 for
+  /// a perfectly reusing pool — asserted by tests).
+  double wasted_bytes() const {
+    return reserved_bytes() - chunk_bytes_ * static_cast<double>(peak_live_);
+  }
+
+ private:
+  double chunk_bytes_;
+  std::vector<bool> owned_;  // chunk id -> exists (all owned chunks)
+  std::vector<int> free_;    // LIFO free list
+  int live_ = 0;
+  int peak_live_ = 0;
+};
+
+/// Models a contiguous KV tensor managed by a caching allocator without
+/// block coalescing (the failure mode the paper's chunked design avoids).
+/// Each growth step allocates a new buffer of (k+1) slices while the old
+/// k-slice buffer is still live (copy), then frees the old one into a free
+/// list that only satisfies requests of exactly-matching-or-larger blocks.
+class ContiguousKvModel {
+ public:
+  explicit ContiguousKvModel(double slice_bytes);
+
+  /// Grows the cache by one slice (a forward pass appending K/V).
+  void grow();
+
+  /// Shrinks by one slice (a backward pass releasing it). Shrinking in a
+  /// contiguous layout frees nothing until the whole tensor dies.
+  void shrink();
+
+  /// Frees the whole cache (end of microbatch).
+  void reset();
+
+  double current_bytes() const;
+  double peak_reserved_bytes() const { return peak_reserved_; }
+  /// Fragmentation: peak reserved minus peak live payload.
+  double fragmentation_bytes() const;
+
+ private:
+  double alloc_block(double bytes);  // returns bytes actually reserved
+
+  double slice_bytes_;
+  std::int64_t live_slices_ = 0;
+  std::int64_t buffer_slices_ = 0;  // capacity of the current buffer
+  double reserved_ = 0.0;           // allocator bytes currently held
+  double peak_reserved_ = 0.0;
+  double peak_live_payload_ = 0.0;
+  std::vector<double> free_blocks_;  // non-coalescing free list
+};
+
+}  // namespace slim::mem

@@ -1,0 +1,3 @@
+#include "src/memory/offload.hpp"
+
+// Header-only model; this translation unit anchors the library target.

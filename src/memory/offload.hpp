@@ -1,0 +1,41 @@
+#pragma once
+
+// Pipeline-parallelism-aware activation offloading (paper §6.5, Table 4;
+// technique from Yuan et al., USENIX ATC'24).
+//
+// A fraction `ratio` of each slice's stored activations is copied to host
+// memory right after the forward pass and prefetched back before the
+// corresponding backward pass. The copies ride PCIe and overlap with
+// compute; only the part that exceeds the compute window is exposed as a
+// slowdown.
+
+#include <algorithm>
+
+namespace slim::mem {
+
+struct OffloadModel {
+  double ratio = 0.0;           // fraction of activation bytes moved to host
+  double pcie_bandwidth = 55e9; // bytes/s per device
+
+  bool enabled() const { return ratio > 0.0; }
+
+  /// Device-resident activation bytes after offloading.
+  double resident_bytes(double activation_bytes) const {
+    return activation_bytes * (1.0 - ratio);
+  }
+
+  /// Host bytes consumed.
+  double host_bytes(double activation_bytes) const {
+    return activation_bytes * ratio;
+  }
+
+  /// Exposed (non-overlappable) time added to a pass of duration
+  /// `compute_window` that must move `activation_bytes * ratio` over PCIe.
+  double exposed_time(double activation_bytes, double compute_window) const {
+    if (!enabled()) return 0.0;
+    const double copy = host_bytes(activation_bytes) / pcie_bandwidth;
+    return std::max(0.0, copy - compute_window);
+  }
+};
+
+}  // namespace slim::mem

@@ -1,0 +1,67 @@
+#pragma once
+
+// Byte-exact device memory accounting on the simulated timeline.
+//
+// Schedule builders attach MemDelta records to ops; after execution the
+// tracker replays them in timestamp order and reports the peak footprint per
+// device — the equivalent of torch.cuda.max_memory_allocated in the paper's
+// Figure 10/14 measurements.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/executor.hpp"
+#include "src/sim/graph.hpp"
+
+namespace slim::mem {
+
+enum Category : int {
+  kParams = 0,
+  kGrads,
+  kOptimizer,
+  kActivation,
+  kKvCache,
+  kLogits,
+  kCommBuffer,
+  kNumCategories,
+};
+
+const char* category_name(int category);
+
+struct DeviceMemory {
+  double peak = 0.0;      // peak total bytes
+  double end = 0.0;       // bytes at the end of the iteration
+  double peak_time = 0.0; // when the peak occurred
+  /// Per-category footprint at the moment of the device's peak.
+  std::vector<double> at_peak = std::vector<double>(kNumCategories, 0.0);
+  /// Per-category individual maxima (may occur at different times).
+  std::vector<double> category_peak = std::vector<double>(kNumCategories, 0.0);
+};
+
+struct MemoryReport {
+  std::vector<DeviceMemory> devices;
+
+  double max_peak() const;
+  int argmax_device() const;
+  std::string summary() const;
+};
+
+/// Replays the graph's memory deltas at the executed op times.
+/// `num_devices` sizes the report (devices with no deltas report zeros).
+MemoryReport replay_memory(const sim::OpGraph& graph,
+                           const sim::ExecResult& result, int num_devices);
+
+/// Adds a constant (time-independent) footprint such as model states to
+/// every device: applied as a baseline before replay.
+struct StaticFootprint {
+  int device = 0;
+  int category = 0;
+  double bytes = 0.0;
+};
+
+MemoryReport replay_memory(const sim::OpGraph& graph,
+                           const sim::ExecResult& result, int num_devices,
+                           const std::vector<StaticFootprint>& baseline);
+
+}  // namespace slim::mem

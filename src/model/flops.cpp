@@ -1,0 +1,290 @@
+#include "src/model/flops.hpp"
+
+#include <algorithm>
+
+#include "src/util/logging.hpp"
+
+namespace slim::model {
+
+namespace {
+constexpr double kBf16 = 2.0;
+/// HBM traffic per stored activation byte (reads + writes along the pass).
+constexpr double kActTrafficFactor = 4.0;
+}  // namespace
+
+CostModel::CostModel(TransformerConfig cfg, GpuSpec gpu, sim::Topology topo,
+                     Shard shard, CheckpointPolicy policy, CpMode cp_mode)
+    : cfg_(std::move(cfg)),
+      gpu_(gpu),
+      topo_(topo),
+      shard_(shard),
+      policy_(policy),
+      cp_mode_(cp_mode) {
+  SLIM_CHECK(shard_.t >= 1 && shard_.c >= 1 && shard_.e >= 1,
+             "invalid shard sizes");
+}
+
+double CostModel::local_tokens(std::int64_t len) const {
+  return static_cast<double>(len) / static_cast<double>(shard_.c);
+}
+
+double CostModel::attn_block_flops(double q_tokens, double kv_tokens) const {
+  // Scores (2 flops per q-k pair per hidden element) + AV (same): 4 h q kv,
+  // divided by t (head sharding) and c (query sharding).
+  const double h = static_cast<double>(cfg_.hidden);
+  return 4.0 * h * q_tokens * kv_tokens /
+         static_cast<double>(shard_.t * shard_.c);
+}
+
+double CostModel::attn_block_time(double q_tokens, double kv_tokens,
+                                  bool forward) const {
+  const double flops =
+      attn_block_flops(q_tokens, kv_tokens) * (forward ? 1.0 : 2.0);
+  // Traffic: Q and O rows (q side) + K/V rows (kv side), bf16, sharded.
+  const double h = static_cast<double>(cfg_.hidden);
+  const double kvh = static_cast<double>(cfg_.kv_hidden());
+  const double bytes =
+      (2.0 * q_tokens * h + 2.0 * kv_tokens * kvh) * kBf16 /
+      static_cast<double>(shard_.t * shard_.c) * (forward ? 1.0 : 2.5);
+  const double derate =
+      gpu_.rows_derate(q_tokens / static_cast<double>(shard_.c));
+  return gpu_.op_time(flops, bytes,
+                      forward ? OpCategory::Attention
+                              : OpCategory::AttentionBwd) /
+         derate;
+}
+
+double CostModel::causal_kv_equiv(std::int64_t len, std::int64_t kv_prefix) {
+  return static_cast<double>(kv_prefix) +
+         (static_cast<double>(len) + 1.0) / 2.0;
+}
+
+double CostModel::causal_attn_time(std::int64_t len, std::int64_t kv_prefix,
+                                   bool forward) const {
+  return attn_block_time(static_cast<double>(len),
+                         causal_kv_equiv(len, kv_prefix), forward);
+}
+
+double CostModel::gemm_fwd_flops(std::int64_t len) const {
+  const double lt = local_tokens(len);
+  const double h = static_cast<double>(cfg_.hidden);
+  const double kvh = static_cast<double>(cfg_.kv_hidden());
+  const double ffn = static_cast<double>(cfg_.ffn);
+  const double topk = static_cast<double>(cfg_.active_experts());
+  double flops = 2.0 * lt * h * (h + 2.0 * kvh)  // QKV
+                 + 2.0 * lt * h * h              // O projection
+                 + 6.0 * lt * h * ffn * topk;    // SwiGLU FFN / routed MoE
+  if (cfg_.is_moe()) {
+    flops += 2.0 * lt * h * static_cast<double>(cfg_.experts);  // router
+  }
+  return flops / static_cast<double>(shard_.t);
+}
+
+double CostModel::gemm_weight_bytes() const {
+  // Per-layer weight bytes resident reads: attention + local experts.
+  const double h = static_cast<double>(cfg_.hidden);
+  const double kvh = static_cast<double>(cfg_.kv_hidden());
+  double params = 2.0 * h * h + 2.0 * h * kvh;
+  double ffn_params = 3.0 * h * static_cast<double>(cfg_.ffn);
+  if (cfg_.is_moe()) {
+    ffn_params *= static_cast<double>(cfg_.experts) /
+                  static_cast<double>(shard_.e);
+  }
+  return (params + ffn_params) * kBf16 / static_cast<double>(shard_.t);
+}
+
+double CostModel::act_traffic_bytes(std::int64_t len) const {
+  const double lt = local_tokens(len);
+  const double h = static_cast<double>(cfg_.hidden);
+  const double ffn_active = static_cast<double>(cfg_.ffn) *
+                            static_cast<double>(cfg_.active_experts());
+  const double per_token =
+      (6.0 * h + 2.0 * ffn_active) * kBf16 / static_cast<double>(shard_.t);
+  return kActTrafficFactor * lt * per_token;
+}
+
+double CostModel::comm_time_per_layer(std::int64_t len, std::int64_t kv_prefix,
+                                      bool forward) const {
+  const double lt = local_tokens(len);
+  const double h = static_cast<double>(cfg_.hidden);
+  double time = 0.0;
+
+  // TP (always with SP): 2 all-gathers + 2 reduce-scatters per direction,
+  // payload = full-sequence-shard activation (lt * c / c ... the collective
+  // moves the t-sharded activation of the local tokens).
+  if (shard_.t > 1) {
+    const double bytes = lt * h * kBf16;
+    time += 4.0 * topo_.ring_collective_time(static_cast<int>(shard_.t),
+                                             bytes, /*cross_node=*/false);
+  }
+
+  // CP: ring attention circulates KV (including any cached prefix — the
+  // inefficiency the paper notes), the commutated variant circulates Q/O.
+  if (shard_.c > 1) {
+    const bool cross = shard_.t * shard_.c > shard_.gpus_per_node;
+    const double bw = cross ? topo_.nic_bandwidth : topo_.nvlink_bandwidth;
+    const double lat = cross ? topo_.nic_latency : topo_.nvlink_latency;
+    const double steps = static_cast<double>(shard_.c - 1);
+    double per_step_bytes = 0.0;
+    if (cp_mode_ == CpMode::Commutated) {
+      // Q and O (+ tiny normalizer) take one trip around the ring.
+      per_step_bytes = 2.0 * lt * h * kBf16 / static_cast<double>(shard_.t);
+    } else {
+      const double kvh = static_cast<double>(cfg_.kv_hidden());
+      const double kv_tokens_local =
+          (static_cast<double>(len + kv_prefix)) /
+          static_cast<double>(shard_.c);
+      per_step_bytes =
+          2.0 * kv_tokens_local * kvh * kBf16 / static_cast<double>(shard_.t);
+    }
+    // Ring attention overlaps communication with blockwise compute; model
+    // half the volume as exposed.
+    time += 0.5 * steps * (lat + per_step_bytes / bw) * (forward ? 1.0 : 2.0);
+  }
+
+  // MoE: dispatch + combine all-to-alls.
+  if (cfg_.is_moe() && shard_.e > 1) {
+    const bool cross =
+        shard_.t * shard_.c * shard_.e > shard_.gpus_per_node;
+    const double payload = lt * h * kBf16 *
+                           static_cast<double>(cfg_.experts_topk) /
+                           static_cast<double>(shard_.t);
+    time += 2.0 * topo_.all_to_all_time(static_cast<int>(shard_.e), payload,
+                                        cross) *
+            (forward ? 1.0 : 2.0);
+  }
+  return time;
+}
+
+double CostModel::nonattn_time(std::int64_t layers, std::int64_t len,
+                               bool forward) const {
+  if (layers <= 0 || len <= 0) return 0.0;
+  const double mult = forward ? 1.0 : 2.0;
+  const double gemm_flops = gemm_fwd_flops(len) * mult;
+  const double gemm_bytes = gemm_weight_bytes() * (forward ? 1.0 : 2.0);
+  const double gemm_time =
+      gpu_.op_time(gemm_flops, gemm_bytes, OpCategory::Gemm) /
+      gpu_.rows_derate(local_tokens(len));
+  const double ew_time =
+      gpu_.op_time(0.0, act_traffic_bytes(len) * mult, OpCategory::Elementwise);
+  const double comm = comm_time_per_layer(len, 0, forward);
+  const double per_layer =
+      gemm_time + ew_time + comm + gpu_.per_layer_overhead;
+  return static_cast<double>(layers) * per_layer + gpu_.per_pass_overhead;
+}
+
+double CostModel::forward_time(std::int64_t layers, std::int64_t len,
+                               std::int64_t kv_prefix) const {
+  if (layers <= 0 || len <= 0) return 0.0;
+  return nonattn_time(layers, len, /*forward=*/true) +
+         static_cast<double>(layers) *
+             causal_attn_time(len, kv_prefix, /*forward=*/true);
+}
+
+double CostModel::recompute_time(std::int64_t layers, std::int64_t len,
+                                 std::int64_t kv_prefix) const {
+  switch (policy_) {
+    case CheckpointPolicy::None:
+      return 0.0;
+    case CheckpointPolicy::Selective: {
+      // Re-run up-projection + gate + SwiGLU: 4 lt h H topk flops/layer.
+      const double lt = local_tokens(len);
+      const double flops = 4.0 * lt * static_cast<double>(cfg_.hidden) *
+                           static_cast<double>(cfg_.ffn) *
+                           static_cast<double>(cfg_.active_experts()) /
+                           static_cast<double>(shard_.t);
+      return static_cast<double>(layers) *
+             gpu_.op_time(flops, gemm_weight_bytes() * 0.5, OpCategory::Gemm);
+    }
+    case CheckpointPolicy::Full:
+      return forward_time(layers, len, kv_prefix);
+  }
+  return 0.0;
+}
+
+double CostModel::backward_time(std::int64_t layers, std::int64_t len,
+                                std::int64_t kv_prefix) const {
+  if (layers <= 0 || len <= 0) return 0.0;
+  return nonattn_time(layers, len, /*forward=*/false) +
+         static_cast<double>(layers) *
+             causal_attn_time(len, kv_prefix, /*forward=*/false) +
+         recompute_time(layers, len, kv_prefix);
+}
+
+double CostModel::backward_input_time(std::int64_t layers, std::int64_t len,
+                                      std::int64_t kv_prefix) const {
+  if (layers <= 0 || len <= 0) return 0.0;
+  // Input gradients: GEMM dgrad (== forward GEMM flops) + the whole
+  // attention backward (attention has no weights: T_w = 0, T_b = 2 T_f).
+  const double gemm_time = gpu_.op_time(gemm_fwd_flops(len),
+                                        gemm_weight_bytes(), OpCategory::Gemm);
+  const double ew_time = gpu_.op_time(0.0, act_traffic_bytes(len),
+                                      OpCategory::Elementwise);
+  const double comm = comm_time_per_layer(len, kv_prefix, /*forward=*/false);
+  const double attn = causal_attn_time(len, kv_prefix, /*forward=*/false);
+  return static_cast<double>(layers) *
+             (gemm_time + ew_time + comm + attn + gpu_.per_layer_overhead) +
+         gpu_.per_pass_overhead;
+}
+
+double CostModel::backward_weight_time(std::int64_t layers,
+                                       std::int64_t len) const {
+  if (layers <= 0 || len <= 0) return 0.0;
+  // Weight gradients: one GEMM-shaped pass over the linear layers only.
+  const double gemm_time = gpu_.op_time(gemm_fwd_flops(len),
+                                        gemm_weight_bytes(), OpCategory::Gemm);
+  return static_cast<double>(layers) * (gemm_time + gpu_.per_layer_overhead) +
+         gpu_.per_pass_overhead;
+}
+
+double CostModel::vocab_forward_time(std::int64_t len,
+                                     std::int64_t vocab_shards) const {
+  SLIM_CHECK(vocab_shards >= 1, "vocab_shards >= 1");
+  const double lt = local_tokens(len);
+  const double flops = 2.0 * lt * static_cast<double>(cfg_.hidden) *
+                       static_cast<double>(cfg_.vocab) /
+                       static_cast<double>(shard_.t * vocab_shards);
+  const double v_local = static_cast<double>(cfg_.vocab) /
+                         static_cast<double>(shard_.t * vocab_shards);
+  // GEMM output write (bf16) + fp32 logits for the loss.
+  const double bytes = lt * v_local * (kBf16 + 4.0);
+  return gpu_.op_time(flops, bytes, OpCategory::VocabGemm) +
+         gpu_.per_pass_overhead;
+}
+
+double CostModel::vocab_backward_time(std::int64_t len,
+                                      std::int64_t vocab_shards) const {
+  return 2.0 * vocab_forward_time(len, vocab_shards);
+}
+
+double CostModel::embedding_time(std::int64_t len) const {
+  const double bytes = local_tokens(len) * static_cast<double>(cfg_.hidden) *
+                       kBf16 / static_cast<double>(shard_.t);
+  return gpu_.op_time(0.0, 2.0 * bytes, OpCategory::Elementwise);
+}
+
+double CostModel::boundary_bytes(std::int64_t len) const {
+  return local_tokens(len) * static_cast<double>(cfg_.hidden) * kBf16 /
+         static_cast<double>(shard_.t);
+}
+
+double CostModel::model_flops_forward(std::int64_t seq) const {
+  const double s = static_cast<double>(seq);
+  const double h = static_cast<double>(cfg_.hidden);
+  const double kvh = static_cast<double>(cfg_.kv_hidden());
+  const double topk = static_cast<double>(cfg_.active_experts());
+  const double per_layer =
+      2.0 * s * h * (h + 2.0 * kvh)                    // QKV
+      + 2.0 * s * h * h                                // O
+      + 6.0 * s * h * static_cast<double>(cfg_.ffn) * topk  // FFN
+      + 4.0 * h * (s * (s + 1.0) / 2.0);               // causal attention
+  const double vocab = 2.0 * s * h * static_cast<double>(cfg_.vocab);
+  return static_cast<double>(cfg_.layers) * per_layer + vocab;
+}
+
+double CostModel::model_flops_iteration(std::int64_t seq,
+                                        std::int64_t sequences) const {
+  return 3.0 * model_flops_forward(seq) * static_cast<double>(sequences);
+}
+
+}  // namespace slim::model

@@ -1,0 +1,126 @@
+#pragma once
+
+// Per-device cost model for transformer passes over sequence slices.
+//
+// All public methods take *global* token counts (slice length `len`, KV
+// prefix `kv_prefix`) and internally apply the sharding (t, c, e). Times are
+// seconds on one device, including exposed TP/CP/EP collective time and
+// fixed per-layer/per-pass overheads, so that schedule builders can use them
+// directly as op durations.
+//
+// The causal-attention slice cost is the quantity SlimPipe's context
+// exchange rebalances: a slice of length s with KV prefix P costs
+//     attn_flops = 4 h (s P + s (s + 1) / 2)
+// i.e. proportional to the attended KV length — later slices are more
+// expensive (paper §4.2.1).
+
+#include <cstdint>
+
+#include "src/model/activation.hpp"
+#include "src/model/hardware.hpp"
+#include "src/model/transformer.hpp"
+#include "src/sim/topology.hpp"
+
+namespace slim::model {
+
+/// How context parallelism communicates (paper §5 "Commutated CP").
+enum class CpMode : std::uint8_t {
+  RingKv,      // classic ring attention: KV blocks circulate (baselines)
+  Commutated,  // SlimPipe variant: query/output/normalizer circulate
+};
+
+class CostModel {
+ public:
+  CostModel(TransformerConfig cfg, GpuSpec gpu, sim::Topology topo,
+            Shard shard, CheckpointPolicy policy,
+            CpMode cp_mode = CpMode::RingKv);
+
+  const TransformerConfig& config() const { return cfg_; }
+  const GpuSpec& gpu() const { return gpu_; }
+  const Shard& shard() const { return shard_; }
+  CheckpointPolicy policy() const { return policy_; }
+
+  // ---- attention core (the exchangeable workload) ----
+
+  /// FLOPs (per device) of a rectangular attention block: q_tokens queries
+  /// attending kv_tokens keys/values. Forward direction.
+  double attn_block_flops(double q_tokens, double kv_tokens) const;
+
+  /// Time of the rectangular block, forward or backward.
+  double attn_block_time(double q_tokens, double kv_tokens, bool forward) const;
+
+  /// Time of the causal attention of a slice: block(len, kv_prefix) plus the
+  /// lower triangle within the slice.
+  double causal_attn_time(std::int64_t len, std::int64_t kv_prefix,
+                          bool forward) const;
+
+  /// Effective attended-KV token count of a causal slice (the "workload
+  /// units" balanced by context exchange): kv_prefix + (len + 1) / 2.
+  static double causal_kv_equiv(std::int64_t len, std::int64_t kv_prefix);
+
+  // ---- full passes ----
+
+  /// Everything in a `layers`-layer pass except the attention core:
+  /// QKV/O/FFN GEMMs, elementwise ops, TP/CP/EP collectives, overheads.
+  double nonattn_time(std::int64_t layers, std::int64_t len,
+                      bool forward) const;
+
+  /// Forward pass of `layers` layers over a slice.
+  double forward_time(std::int64_t layers, std::int64_t len,
+                      std::int64_t kv_prefix) const;
+
+  /// Backward pass (input+weight gradients) including checkpoint recompute.
+  double backward_time(std::int64_t layers, std::int64_t len,
+                       std::int64_t kv_prefix) const;
+
+  /// ZB-V style split backward. backward_input + backward_weight ==
+  /// backward (modulo recompute, which ZB-V does not support here).
+  double backward_input_time(std::int64_t layers, std::int64_t len,
+                             std::int64_t kv_prefix) const;
+  double backward_weight_time(std::int64_t layers, std::int64_t len) const;
+
+  /// Output-layer GEMM + softmax cross-entropy over `len` tokens with the
+  /// vocabulary sharded `vocab_shards` ways (1 = classic, p = vocab parallel).
+  double vocab_forward_time(std::int64_t len, std::int64_t vocab_shards) const;
+  double vocab_backward_time(std::int64_t len, std::int64_t vocab_shards) const;
+
+  /// Embedding lookup cost (memory bound; small).
+  double embedding_time(std::int64_t len) const;
+
+  /// Checkpoint recomputation time charged to a backward pass (0 for
+  /// CheckpointPolicy::None).
+  double recompute_time(std::int64_t layers, std::int64_t len,
+                        std::int64_t kv_prefix) const;
+
+  /// Bytes sent between adjacent pipeline stages for one slice boundary
+  /// activation (per TP/CP rank link).
+  double boundary_bytes(std::int64_t len) const;
+
+  // ---- MFU accounting ----
+
+  /// Model FLOPs of one *forward* over a full sequence of `seq` tokens,
+  /// summed over the whole model (all devices), causal-exact.
+  double model_flops_forward(std::int64_t seq) const;
+
+  /// Model FLOPs of a full training iteration on `sequences` sequences of
+  /// `seq` tokens (forward + backward = 3x forward). Recompute does not
+  /// count toward model FLOPs.
+  double model_flops_iteration(std::int64_t seq, std::int64_t sequences) const;
+
+ private:
+  double local_tokens(std::int64_t len) const;
+  double gemm_fwd_flops(std::int64_t len) const;   // per device, one layer
+  double gemm_weight_bytes() const;                // per device, one layer
+  double act_traffic_bytes(std::int64_t len) const;
+  double comm_time_per_layer(std::int64_t len, std::int64_t kv_prefix,
+                             bool forward) const;
+
+  TransformerConfig cfg_;
+  GpuSpec gpu_;
+  sim::Topology topo_;
+  Shard shard_;
+  CheckpointPolicy policy_;
+  CpMode cp_mode_;
+};
+
+}  // namespace slim::model

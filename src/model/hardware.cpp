@@ -1,0 +1,30 @@
+#include "src/model/hardware.hpp"
+
+#include <algorithm>
+
+#include "src/util/logging.hpp"
+
+namespace slim::model {
+
+double GpuSpec::efficiency(OpCategory category) const {
+  switch (category) {
+    case OpCategory::Gemm: return eff_gemm;
+    case OpCategory::Attention: return eff_attention;
+    case OpCategory::AttentionBwd: return eff_attention_bwd;
+    case OpCategory::VocabGemm: return eff_vocab;
+    case OpCategory::Elementwise: return 0.02;  // memory bound anyway
+  }
+  return eff_gemm;
+}
+
+double GpuSpec::op_time(double flops, double hbm_bytes,
+                        OpCategory category) const {
+  SLIM_CHECK(flops >= 0.0 && hbm_bytes >= 0.0, "negative op cost");
+  const double compute = flops / (peak_flops * efficiency(category));
+  const double memory = hbm_bytes / hbm_bandwidth;
+  return std::max(compute, memory);
+}
+
+GpuSpec hopper80() { return GpuSpec{}; }
+
+}  // namespace slim::model

@@ -1,0 +1,68 @@
+#pragma once
+
+// Accelerator description and the op-duration model.
+//
+// Durations follow a smoothed roofline: an op with F flops and M bytes of
+// HBM traffic takes
+//     t = max(F / (peak * eff_class), M / hbm_bw) + overhead
+// where eff_class is the achievable fraction of peak for the op class
+// (dense GEMM reaches a higher fraction than attention). The roofline's
+// memory leg is what makes very short slices inefficient (paper §6.3 /
+// Figure 11: arithmetic intensity drops when slices shrink).
+
+#include <cstdint>
+#include <string>
+
+namespace slim::model {
+
+enum class OpCategory : std::uint8_t {
+  Gemm,           // dense projections / FFN / MoE expert GEMMs
+  Attention,      // SDPA forward
+  AttentionBwd,   // SDPA backward
+  VocabGemm,      // output-layer projection + loss
+  Elementwise,    // norms, activations, residuals (memory bound)
+};
+
+struct GpuSpec {
+  std::string name = "Hopper-80GB";
+  double memory_bytes = 80.0 * (1ull << 30);
+  double peak_flops = 989e12;       // dense bf16, no sparsity
+  double hbm_bandwidth = 3.35e12;   // bytes/s
+
+  // Achievable fraction of peak per op class.
+  double eff_gemm = 0.65;
+  double eff_attention = 0.55;
+  double eff_attention_bwd = 0.50;
+  double eff_vocab = 0.60;
+
+  /// Fixed per-pass overhead (kernel launches, stream sync) in seconds,
+  /// charged once per layer executed in a pass.
+  double per_layer_overhead = 8e-6;
+  /// Fixed per-pass overhead (pipeline bookkeeping, comm setup).
+  double per_pass_overhead = 15e-6;
+
+  /// Small-GEMM occupancy model: kernels with few rows (short sequence
+  /// slices) cannot fill the SMs; achievable efficiency scales by
+  /// rows / (rows + gemm_rows_half). This is the "arithmetic intensity"
+  /// penalty the paper's §6.3 observes for fine slicing.
+  double gemm_rows_half = 384.0;
+
+  /// Occupancy derate for a kernel processing `rows` sequence positions.
+  double rows_derate(double rows) const {
+    if (rows <= 0.0) return 1.0;
+    return rows / (rows + gemm_rows_half);
+  }
+
+  double efficiency(OpCategory category) const;
+
+  /// Roofline duration for one op (no overhead term).
+  double op_time(double flops, double hbm_bytes, OpCategory category) const;
+
+  /// Host-device (PCIe) bandwidth for activation offloading, bytes/s.
+  double pcie_bandwidth = 55e9;
+};
+
+/// The paper's testbed accelerator.
+GpuSpec hopper80();
+
+}  // namespace slim::model

@@ -1,0 +1,230 @@
+#include "src/numerics/attention.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace slim::num {
+
+namespace {
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+}
+
+AttnPartial attn_partial(const Tensor& q, const Tensor& k, const Tensor& v,
+                         std::int64_t q_offset, std::int64_t k_offset,
+                         float scale) {
+  SLIM_CHECK(q.cols() == k.cols(), "q/k head-dim mismatch");
+  SLIM_CHECK(k.rows() == v.rows(), "k/v length mismatch");
+  const std::int64_t s = q.rows(), kv = k.rows(), d = v.cols();
+  AttnPartial part;
+  part.out = Tensor(s, d);
+  part.m.assign(static_cast<std::size_t>(s), kNegInf);
+  part.l.assign(static_cast<std::size_t>(s), 0.0f);
+
+  for (std::int64_t i = 0; i < s; ++i) {
+    const std::int64_t visible =
+        std::clamp<std::int64_t>(q_offset + i - k_offset + 1, 0, kv);
+    if (visible == 0) continue;
+    // Row scores and max.
+    float m = kNegInf;
+    std::vector<float> scores(static_cast<std::size_t>(visible));
+    for (std::int64_t j = 0; j < visible; ++j) {
+      double dot = 0.0;
+      for (std::int64_t c = 0; c < q.cols(); ++c) {
+        dot += static_cast<double>(q.at(i, c)) * k.at(j, c);
+      }
+      const float sc = static_cast<float>(dot) * scale;
+      scores[static_cast<std::size_t>(j)] = sc;
+      m = std::max(m, sc);
+    }
+    double l = 0.0;
+    for (std::int64_t j = 0; j < visible; ++j) {
+      const float w = std::exp(scores[static_cast<std::size_t>(j)] - m);
+      l += w;
+      for (std::int64_t c = 0; c < d; ++c) {
+        part.out.at(i, c) += w * v.at(j, c);
+      }
+    }
+    const float inv_l = 1.0f / static_cast<float>(l);
+    for (std::int64_t c = 0; c < d; ++c) part.out.at(i, c) *= inv_l;
+    part.m[static_cast<std::size_t>(i)] = m;
+    part.l[static_cast<std::size_t>(i)] = static_cast<float>(l);
+  }
+  return part;
+}
+
+AttnPartial attn_merge(const AttnPartial& a, const AttnPartial& b) {
+  SLIM_CHECK(a.q_len() == b.q_len() && a.out.cols() == b.out.cols(),
+             "merge shape mismatch");
+  const std::int64_t s = a.q_len(), d = a.out.cols();
+  AttnPartial out;
+  out.out = Tensor(s, d);
+  out.m.assign(static_cast<std::size_t>(s), kNegInf);
+  out.l.assign(static_cast<std::size_t>(s), 0.0f);
+  for (std::int64_t i = 0; i < s; ++i) {
+    const std::size_t si = static_cast<std::size_t>(i);
+    const float la = a.l[si], lb = b.l[si];
+    if (la == 0.0f && lb == 0.0f) continue;
+    if (la == 0.0f) {
+      out.m[si] = b.m[si];
+      out.l[si] = lb;
+      for (std::int64_t c = 0; c < d; ++c) out.out.at(i, c) = b.out.at(i, c);
+      continue;
+    }
+    if (lb == 0.0f) {
+      out.m[si] = a.m[si];
+      out.l[si] = la;
+      for (std::int64_t c = 0; c < d; ++c) out.out.at(i, c) = a.out.at(i, c);
+      continue;
+    }
+    const float m = std::max(a.m[si], b.m[si]);
+    const float wa = la * std::exp(a.m[si] - m);
+    const float wb = lb * std::exp(b.m[si] - m);
+    const float l = wa + wb;
+    for (std::int64_t c = 0; c < d; ++c) {
+      out.out.at(i, c) = (a.out.at(i, c) * wa + b.out.at(i, c) * wb) / l;
+    }
+    out.m[si] = m;
+    out.l[si] = l;
+  }
+  return out;
+}
+
+Tensor attn_reference(const Tensor& q, const Tensor& k, const Tensor& v,
+                      std::int64_t q_offset, float scale) {
+  return attn_partial(q, k, v, q_offset, /*k_offset=*/0, scale).out;
+}
+
+void attn_reference_bwd(const Tensor& q, const Tensor& k, const Tensor& v,
+                        std::int64_t q_offset, float scale, const Tensor& dout,
+                        Tensor& dq, Tensor& dk, Tensor& dv) {
+  const std::int64_t s = q.rows(), kv = k.rows(), d = v.cols();
+  dq = Tensor(q.rows(), q.cols());
+  dk = Tensor(k.rows(), k.cols());
+  dv = Tensor(v.rows(), v.cols());
+  for (std::int64_t i = 0; i < s; ++i) {
+    const std::int64_t visible =
+        std::clamp<std::int64_t>(q_offset + i + 1, 0, kv);
+    if (visible == 0) continue;
+    std::vector<float> p(static_cast<std::size_t>(visible));
+    float m = kNegInf;
+    for (std::int64_t j = 0; j < visible; ++j) {
+      double dot = 0.0;
+      for (std::int64_t c = 0; c < q.cols(); ++c) {
+        dot += static_cast<double>(q.at(i, c)) * k.at(j, c);
+      }
+      p[static_cast<std::size_t>(j)] = static_cast<float>(dot) * scale;
+      m = std::max(m, p[static_cast<std::size_t>(j)]);
+    }
+    double l = 0.0;
+    for (std::int64_t j = 0; j < visible; ++j) {
+      p[static_cast<std::size_t>(j)] =
+          std::exp(p[static_cast<std::size_t>(j)] - m);
+      l += p[static_cast<std::size_t>(j)];
+    }
+    for (std::int64_t j = 0; j < visible; ++j) {
+      p[static_cast<std::size_t>(j)] /= static_cast<float>(l);
+    }
+    // dp_j = dout_i . v_j ; rowsum = sum_j p_j dp_j
+    double rowsum = 0.0;
+    std::vector<float> dp(static_cast<std::size_t>(visible));
+    for (std::int64_t j = 0; j < visible; ++j) {
+      double dot = 0.0;
+      for (std::int64_t c = 0; c < d; ++c) {
+        dot += static_cast<double>(dout.at(i, c)) * v.at(j, c);
+      }
+      dp[static_cast<std::size_t>(j)] = static_cast<float>(dot);
+      rowsum += p[static_cast<std::size_t>(j)] * dot;
+    }
+    for (std::int64_t j = 0; j < visible; ++j) {
+      const float pj = p[static_cast<std::size_t>(j)];
+      const float ds =
+          pj * (dp[static_cast<std::size_t>(j)] - static_cast<float>(rowsum)) *
+          scale;
+      for (std::int64_t c = 0; c < q.cols(); ++c) {
+        dq.at(i, c) += ds * k.at(j, c);
+        dk.at(j, c) += ds * q.at(i, c);
+      }
+      for (std::int64_t c = 0; c < d; ++c) {
+        dv.at(j, c) += pj * dout.at(i, c);
+      }
+    }
+  }
+}
+
+AttnPartial attn_streamed(const Tensor& q, const std::vector<KvChunk>& chunks,
+                          std::int64_t q_offset, float scale) {
+  AttnPartial acc;
+  acc.out = Tensor(q.rows(), chunks.empty() ? q.cols() : chunks[0].v.cols());
+  acc.m.assign(static_cast<std::size_t>(q.rows()), kNegInf);
+  acc.l.assign(static_cast<std::size_t>(q.rows()), 0.0f);
+  bool first = true;
+  for (const KvChunk& chunk : chunks) {
+    AttnPartial part =
+        attn_partial(q, chunk.k, chunk.v, q_offset, chunk.pos, scale);
+    acc = first ? std::move(part) : attn_merge(acc, part);
+    first = false;
+  }
+  return acc;
+}
+
+void attn_streamed_bwd(const Tensor& q, const std::vector<KvChunk>& chunks,
+                       std::int64_t q_offset, float scale,
+                       const AttnPartial& fwd, const Tensor& dout, Tensor& dq,
+                       std::vector<Tensor>& dk_chunks,
+                       std::vector<Tensor>& dv_chunks) {
+  SLIM_CHECK(dk_chunks.size() == chunks.size() &&
+                 dv_chunks.size() == chunks.size(),
+             "gradient chunk buffers must match chunk count");
+  const std::int64_t s = q.rows(), d = fwd.out.cols();
+  dq = Tensor(q.rows(), q.cols());
+  // D_i = dout_i . out_i — the flash-attention rowsum shortcut that spares
+  // a second pass over all chunks.
+  std::vector<float> D(static_cast<std::size_t>(s), 0.0f);
+  for (std::int64_t i = 0; i < s; ++i) {
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < d; ++c) {
+      sum += static_cast<double>(dout.at(i, c)) * fwd.out.at(i, c);
+    }
+    D[static_cast<std::size_t>(i)] = static_cast<float>(sum);
+  }
+
+  for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+    const KvChunk& chunk = chunks[ci];
+    Tensor& dk = dk_chunks[ci];
+    Tensor& dv = dv_chunks[ci];
+    SLIM_CHECK(dk.rows() == chunk.k.rows() && dv.rows() == chunk.v.rows(),
+               "chunk gradient shape mismatch");
+    const std::int64_t kv = chunk.k.rows();
+    for (std::int64_t i = 0; i < s; ++i) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      if (fwd.l[si] == 0.0f) continue;
+      const std::int64_t visible =
+          std::clamp<std::int64_t>(q_offset + i - chunk.pos + 1, 0, kv);
+      const float inv_l = 1.0f / fwd.l[si];
+      for (std::int64_t j = 0; j < visible; ++j) {
+        double dot = 0.0;
+        for (std::int64_t c = 0; c < q.cols(); ++c) {
+          dot += static_cast<double>(q.at(i, c)) * chunk.k.at(j, c);
+        }
+        const float pj =
+            std::exp(static_cast<float>(dot) * scale - fwd.m[si]) * inv_l;
+        double dpj = 0.0;
+        for (std::int64_t c = 0; c < d; ++c) {
+          dpj += static_cast<double>(dout.at(i, c)) * chunk.v.at(j, c);
+        }
+        const float ds =
+            pj * (static_cast<float>(dpj) - D[si]) * scale;
+        for (std::int64_t c = 0; c < q.cols(); ++c) {
+          dq.at(i, c) += ds * chunk.k.at(j, c);
+          dk.at(j, c) += ds * q.at(i, c);
+        }
+        for (std::int64_t c = 0; c < d; ++c) {
+          dv.at(j, c) += pj * dout.at(i, c);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace slim::num

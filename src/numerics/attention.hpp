@@ -1,0 +1,74 @@
+#pragma once
+
+// Causal attention: reference, partial (block-wise with online-softmax
+// statistics) and streamed-over-KV-chunks variants, all single-head.
+//
+// The *partial* form is the mathematical heart of two SlimPipe mechanisms:
+//  * slice-wise forward with a chunked KV cache (§4.1.2): a query slice
+//    attends chunk by chunk and the partials merge exactly;
+//  * attention context exchange (§4.2.2): a device computes attention
+//    against part of the KV remotely and the partial output is merged back
+//    "via the online softmax method" [Milakov & Gimelshein].
+//
+// merge(attn(Q, KV_a), attn(Q, KV_b)) == attn(Q, KV_a ∪ KV_b) exactly (up
+// to floating point), which the tests assert.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/numerics/tensor.hpp"
+
+namespace slim::num {
+
+/// Softmax-normalized partial attention output with its online-softmax
+/// statistics. `m` is the per-query running max of scores, `l` the running
+/// normalizer. Queries with no visible keys have l == 0.
+struct AttnPartial {
+  Tensor out;             // (q_len, head_dim), already normalized by l
+  std::vector<float> m;   // per query row
+  std::vector<float> l;
+
+  std::int64_t q_len() const { return out.rows(); }
+};
+
+/// Attention of q (global positions q_offset..q_offset+q_len-1) against
+/// k/v (global positions k_offset..), causally masked: key j visible to
+/// query i iff k_offset + j <= q_offset + i.
+AttnPartial attn_partial(const Tensor& q, const Tensor& k, const Tensor& v,
+                         std::int64_t q_offset, std::int64_t k_offset,
+                         float scale);
+
+/// Online-softmax merge of two partials over disjoint key sets.
+AttnPartial attn_merge(const AttnPartial& a, const AttnPartial& b);
+
+/// Reference causal attention (single block, k_offset = 0).
+Tensor attn_reference(const Tensor& q, const Tensor& k, const Tensor& v,
+                      std::int64_t q_offset, float scale);
+
+/// Reference backward. dq/dk/dv are (re)initialized to the right shapes.
+void attn_reference_bwd(const Tensor& q, const Tensor& k, const Tensor& v,
+                        std::int64_t q_offset, float scale, const Tensor& dout,
+                        Tensor& dq, Tensor& dk, Tensor& dv);
+
+/// One KV chunk with its global start position.
+struct KvChunk {
+  Tensor k;
+  Tensor v;
+  std::int64_t pos = 0;  // global position of the chunk's first key
+};
+
+/// Streamed forward over chunks (flash-attention style, O(chunk) memory).
+AttnPartial attn_streamed(const Tensor& q, const std::vector<KvChunk>& chunks,
+                          std::int64_t q_offset, float scale);
+
+/// Streamed backward: recomputes per-chunk probabilities from the final
+/// (m, l) statistics; accumulates dk/dv into per-chunk gradient buffers
+/// (which is what makes LIFO slice backward necessary: a chunk's gradient
+/// is only complete once every later slice has contributed).
+void attn_streamed_bwd(const Tensor& q, const std::vector<KvChunk>& chunks,
+                       std::int64_t q_offset, float scale,
+                       const AttnPartial& fwd, const Tensor& dout, Tensor& dq,
+                       std::vector<Tensor>& dk_chunks,
+                       std::vector<Tensor>& dv_chunks);
+
+}  // namespace slim::num

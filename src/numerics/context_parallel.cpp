@@ -1,0 +1,125 @@
+#include "src/numerics/context_parallel.hpp"
+
+#include <limits>
+
+#include "src/util/logging.hpp"
+
+namespace slim::num {
+
+namespace {
+
+std::int64_t tensor_bytes(const Tensor& t) { return t.size() * 4; }
+
+std::int64_t chunk_bytes(const KvChunk& chunk) {
+  return tensor_bytes(chunk.k) + tensor_bytes(chunk.v);
+}
+
+std::int64_t partial_bytes(const Tensor& q, const AttnPartial& part) {
+  // q + o + (m, l) scalars per row.
+  return tensor_bytes(q) + tensor_bytes(part.out) +
+         static_cast<std::int64_t>(part.m.size() + part.l.size()) * 4;
+}
+
+AttnPartial empty_partial(const Tensor& q) {
+  AttnPartial part;
+  part.out = Tensor(q.rows(), q.cols());
+  part.m.assign(static_cast<std::size_t>(q.rows()),
+                -std::numeric_limits<float>::infinity());
+  part.l.assign(static_cast<std::size_t>(q.rows()), 0.0f);
+  return part;
+}
+
+}  // namespace
+
+CpAttnResult cp_ring_kv(const std::vector<Tensor>& queries,
+                        const std::vector<std::int64_t>& q_offsets,
+                        const std::vector<CpRankCache>& caches, float scale) {
+  const std::size_t c = queries.size();
+  SLIM_CHECK(c >= 1 && q_offsets.size() == c && caches.size() == c,
+             "rank count mismatch");
+  CpAttnResult result;
+  result.outputs.reserve(c);
+  for (std::size_t j = 0; j < c; ++j) {
+    result.outputs.push_back(empty_partial(queries[j]));
+  }
+
+  // Step 0 uses the resident KV; steps 1..c-1 rotate the blocks one hop.
+  for (std::size_t step = 0; step < c; ++step) {
+    for (std::size_t rank = 0; rank < c; ++rank) {
+      const std::size_t source = (rank + step) % c;
+      for (const KvChunk& chunk : caches[source].chunks) {
+        const AttnPartial part =
+            attn_partial(queries[rank], chunk.k, chunk.v, q_offsets[rank],
+                         chunk.pos, scale);
+        result.outputs[rank] = attn_merge(result.outputs[rank], part);
+      }
+      if (step > 0) {
+        // The block travelled one hop this step to reach `rank`.
+        for (const KvChunk& chunk : caches[source].chunks) {
+          result.bytes_communicated += chunk_bytes(chunk);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+CpAttnResult cp_commutated(const std::vector<Tensor>& queries,
+                           const std::vector<std::int64_t>& q_offsets,
+                           const std::vector<CpRankCache>& caches,
+                           float scale) {
+  const std::size_t c = queries.size();
+  SLIM_CHECK(c >= 1 && q_offsets.size() == c && caches.size() == c,
+             "rank count mismatch");
+  CpAttnResult result;
+  result.outputs.reserve(c);
+  for (std::size_t j = 0; j < c; ++j) {
+    result.outputs.push_back(empty_partial(queries[j]));
+  }
+
+  // Each (q, o, m, l) packet visits all ranks; KV never moves.
+  for (std::size_t rank = 0; rank < c; ++rank) {
+    AttnPartial acc = empty_partial(queries[rank]);
+    for (std::size_t step = 0; step < c; ++step) {
+      const std::size_t host = (rank + step) % c;
+      for (const KvChunk& chunk : caches[host].chunks) {
+        const AttnPartial part =
+            attn_partial(queries[rank], chunk.k, chunk.v, q_offsets[rank],
+                         chunk.pos, scale);
+        acc = attn_merge(acc, part);
+      }
+      if (step > 0) {
+        // The packet hopped to `host` carrying q, o and the normalizer.
+        result.bytes_communicated += partial_bytes(queries[rank], acc);
+      }
+    }
+    // One final hop home (ring closure).
+    if (c > 1) {
+      result.bytes_communicated += partial_bytes(queries[rank], acc);
+    }
+    result.outputs[rank] = std::move(acc);
+  }
+  return result;
+}
+
+std::vector<AttnPartial> cp_reference(
+    const std::vector<Tensor>& queries,
+    const std::vector<std::int64_t>& q_offsets,
+    const std::vector<CpRankCache>& caches, float scale) {
+  std::vector<AttnPartial> outputs;
+  for (std::size_t rank = 0; rank < queries.size(); ++rank) {
+    AttnPartial acc = empty_partial(queries[rank]);
+    for (const CpRankCache& cache : caches) {
+      for (const KvChunk& chunk : cache.chunks) {
+        const AttnPartial part =
+            attn_partial(queries[rank], chunk.k, chunk.v, q_offsets[rank],
+                         chunk.pos, scale);
+        acc = attn_merge(acc, part);
+      }
+    }
+    outputs.push_back(std::move(acc));
+  }
+  return outputs;
+}
+
+}  // namespace slim::num

@@ -1,0 +1,59 @@
+#pragma once
+
+// Context parallelism over the KV cache, numerically (paper §5 "Commutated
+// Context Parallelism").
+//
+// With c CP ranks, each rank owns one contiguous block of every cached KV
+// slice. To attend a new query slice against the distributed cache:
+//
+//  * classic ring attention circulates every rank's *local KV* around the
+//    ring — with a KV cache the communicated volume grows linearly with the
+//    cached prefix, "rather inefficient";
+//  * the commutated variant circulates the *query, partial output and
+//    softmax normalizer* instead: each (q, o, m, l) packet visits every
+//    rank, accumulates attention against that rank's resident KV via the
+//    online-softmax merge, and returns home. Volume is independent of the
+//    cache length.
+//
+// Both produce the identical attention result (asserted by tests); the
+// byte counters quantify §5's claim that the commutated variant "recovers
+// the communication volume of CP without KV cache".
+
+#include <cstdint>
+#include <vector>
+
+#include "src/numerics/attention.hpp"
+
+namespace slim::num {
+
+/// KV chunks resident on one CP rank (all carrying global positions).
+struct CpRankCache {
+  std::vector<KvChunk> chunks;
+};
+
+struct CpAttnResult {
+  /// Attention output of each rank's query block, in rank order.
+  std::vector<AttnPartial> outputs;
+  /// Total bytes moved around the ring (fp32 payload accounting).
+  std::int64_t bytes_communicated = 0;
+};
+
+/// Classic ring attention: KV blocks circulate. `queries[j]` is rank j's
+/// query block with global offset `q_offsets[j]`.
+CpAttnResult cp_ring_kv(const std::vector<Tensor>& queries,
+                        const std::vector<std::int64_t>& q_offsets,
+                        const std::vector<CpRankCache>& caches, float scale);
+
+/// Commutated variant: (q, o, m, l) packets circulate, KV stays resident.
+CpAttnResult cp_commutated(const std::vector<Tensor>& queries,
+                           const std::vector<std::int64_t>& q_offsets,
+                           const std::vector<CpRankCache>& caches,
+                           float scale);
+
+/// Reference: gather everything on one rank and attend directly.
+std::vector<AttnPartial> cp_reference(const std::vector<Tensor>& queries,
+                                      const std::vector<std::int64_t>& q_offsets,
+                                      const std::vector<CpRankCache>& caches,
+                                      float scale);
+
+}  // namespace slim::num

@@ -1,0 +1,49 @@
+#pragma once
+
+// Softmax cross-entropy: monolithic and vocabulary-sharded (paper §4.3.2).
+//
+// The sharded variant computes the loss from column shards of the logits
+// without ever gathering them: each shard contributes its local (max,
+// sum-exp, target-logit) statistics, the scalars are "synchronized" (here:
+// combined), and both the loss and the per-shard gradients follow from the
+// global statistics. Tests assert exact agreement with the monolithic path.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/numerics/tensor.hpp"
+
+namespace slim::num {
+
+struct CeResult {
+  double loss = 0.0;    // mean over tokens
+  Tensor dlogits;       // gradient of the mean loss
+};
+
+/// logits: (tokens x vocab); targets: one class id per token.
+CeResult cross_entropy(const Tensor& logits,
+                       const std::vector<std::int64_t>& targets);
+
+struct ShardedCeResult {
+  double loss = 0.0;
+  std::vector<Tensor> dshards;  // same shapes as the input shards
+};
+
+/// `shards[k]` holds columns [offsets[k], offsets[k] + shards[k].cols()).
+/// Offsets are implied by cumulative widths.
+ShardedCeResult cross_entropy_sharded(
+    const std::vector<Tensor>& shards,
+    const std::vector<std::int64_t>& targets);
+
+/// The per-shard statistics the sharded loss synchronizes — exposed so the
+/// tests can check the communication payload is O(tokens), not O(vocab).
+struct CeShardStats {
+  std::vector<float> max_logit;   // per token
+  std::vector<float> sum_exp;     // per token, relative to local max
+  std::vector<float> target_logit;  // per token; -inf if target not local
+};
+
+CeShardStats ce_shard_stats(const Tensor& shard, std::int64_t col_offset,
+                            const std::vector<std::int64_t>& targets);
+
+}  // namespace slim::num

@@ -1,0 +1,78 @@
+#pragma once
+
+// Mixture-of-Experts feed-forward (the Mixtral architecture of Table 3):
+// a softmax router picks the top-k experts per token; each expert is a
+// SwiGLU FFN; outputs combine with the renormalized router weights.
+//
+// Two execution strategies are implemented:
+//  * per-token: loop tokens, run their experts (the definition);
+//  * grouped ("expert parallel" order): gather each expert's tokens and run
+//    one batched pass per expert — the dispatch/combine layout EP uses.
+// Tests assert both produce identical outputs and gradients, which is the
+// balanced-router equivalence the paper's EP evaluation leans on (§6.1:
+// "the expert router is set to complete balance for performance
+// measurement").
+
+#include <cstdint>
+#include <vector>
+
+#include "src/numerics/norm_act.hpp"
+#include "src/numerics/tensor.hpp"
+#include "src/util/rng.hpp"
+
+namespace slim::num {
+
+struct MoeDims {
+  std::int64_t hidden = 0;
+  std::int64_t ffn = 0;
+  std::int64_t experts = 0;
+  std::int64_t topk = 2;
+};
+
+struct ExpertWeights {
+  Tensor w_gate, w_up, w_down;  // (h,f) (h,f) (f,h)
+};
+
+struct MoeWeights {
+  Tensor router;  // (h, E)
+  std::vector<ExpertWeights> experts;
+
+  static MoeWeights random(const MoeDims& dims, Rng& rng);
+};
+
+struct MoeGrads {
+  Tensor router;
+  std::vector<ExpertWeights> experts;
+
+  static MoeGrads zeros(const MoeDims& dims);
+  float max_abs_diff(const MoeGrads& other) const;
+};
+
+/// Routing decision per token: top-k expert ids with renormalized softmax
+/// weights.
+struct Routing {
+  std::vector<std::vector<std::int64_t>> expert;  // [token][k]
+  std::vector<std::vector<float>> weight;         // [token][k]
+};
+
+/// Executes the router on `x` and returns the top-k decision.
+Routing route(const MoeDims& dims, const MoeWeights& w, const Tensor& x);
+
+/// Per-token forward (definition).
+Tensor moe_forward(const MoeDims& dims, const MoeWeights& w, const Tensor& x);
+
+/// Grouped-by-expert forward (EP dispatch/combine order).
+Tensor moe_forward_grouped(const MoeDims& dims, const MoeWeights& w,
+                           const Tensor& x);
+
+/// Backward of the per-token forward; returns dx and accumulates grads.
+/// Gradients flow through the expert FFNs and the router weights
+/// (renormalized-softmax jacobian included).
+Tensor moe_backward(const MoeDims& dims, const MoeWeights& w, const Tensor& x,
+                    const Tensor& dout, MoeGrads& grads);
+
+/// Per-expert token counts of a routing (load-balance diagnostics).
+std::vector<std::int64_t> expert_load(const MoeDims& dims,
+                                      const Routing& routing);
+
+}  // namespace slim::num

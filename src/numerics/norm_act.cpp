@@ -1,0 +1,82 @@
+#include "src/numerics/norm_act.hpp"
+
+#include <cmath>
+
+namespace slim::num {
+
+Tensor rmsnorm(const Tensor& x, const Tensor& weight) {
+  SLIM_CHECK(weight.rows() == 1 && weight.cols() == x.cols(),
+             "rmsnorm weight shape");
+  Tensor y(x.rows(), x.cols());
+  const std::int64_t n = x.cols();
+  for (std::int64_t r = 0; r < x.rows(); ++r) {
+    double mean_sq = 0.0;
+    for (std::int64_t c = 0; c < n; ++c) {
+      mean_sq += static_cast<double>(x.at(r, c)) * x.at(r, c);
+    }
+    mean_sq /= static_cast<double>(n);
+    const float inv_rms = 1.0f / std::sqrt(static_cast<float>(mean_sq) + kRmsEps);
+    for (std::int64_t c = 0; c < n; ++c) {
+      y.at(r, c) = x.at(r, c) * inv_rms * weight.at(0, c);
+    }
+  }
+  return y;
+}
+
+Tensor rmsnorm_bwd(const Tensor& x, const Tensor& weight, const Tensor& dy,
+                   Tensor& dweight) {
+  SLIM_CHECK(dweight.rows() == 1 && dweight.cols() == x.cols(),
+             "rmsnorm dweight shape");
+  Tensor dx(x.rows(), x.cols());
+  const std::int64_t n = x.cols();
+  for (std::int64_t r = 0; r < x.rows(); ++r) {
+    double mean_sq = 0.0;
+    for (std::int64_t c = 0; c < n; ++c) {
+      mean_sq += static_cast<double>(x.at(r, c)) * x.at(r, c);
+    }
+    mean_sq /= static_cast<double>(n);
+    const float rms2 = static_cast<float>(mean_sq) + kRmsEps;
+    const float inv_rms = 1.0f / std::sqrt(rms2);
+    // dot = sum_c x_c * w_c * dy_c
+    double dot = 0.0;
+    for (std::int64_t c = 0; c < n; ++c) {
+      dot += static_cast<double>(x.at(r, c)) * weight.at(0, c) * dy.at(r, c);
+      dweight.at(0, c) += dy.at(r, c) * x.at(r, c) * inv_rms;
+    }
+    const float k = static_cast<float>(dot) /
+                    (static_cast<float>(n) * rms2) * inv_rms;
+    for (std::int64_t c = 0; c < n; ++c) {
+      dx.at(r, c) = dy.at(r, c) * weight.at(0, c) * inv_rms - x.at(r, c) * k;
+    }
+  }
+  return dx;
+}
+
+float silu(float x) { return x / (1.0f + std::exp(-x)); }
+
+float silu_grad(float x) {
+  const float s = 1.0f / (1.0f + std::exp(-x));
+  return s * (1.0f + x * (1.0f - s));
+}
+
+Tensor swiglu(const Tensor& gate, const Tensor& up) {
+  SLIM_CHECK(gate.rows() == up.rows() && gate.cols() == up.cols(),
+             "swiglu shape mismatch");
+  Tensor out(gate.rows(), gate.cols());
+  for (std::int64_t i = 0; i < gate.size(); ++i) {
+    out.data()[i] = silu(gate.data()[i]) * up.data()[i];
+  }
+  return out;
+}
+
+void swiglu_bwd(const Tensor& gate, const Tensor& up, const Tensor& dout,
+                Tensor& dgate, Tensor& dup) {
+  dgate = Tensor(gate.rows(), gate.cols());
+  dup = Tensor(up.rows(), up.cols());
+  for (std::int64_t i = 0; i < gate.size(); ++i) {
+    dgate.data()[i] = dout.data()[i] * up.data()[i] * silu_grad(gate.data()[i]);
+    dup.data()[i] = dout.data()[i] * silu(gate.data()[i]);
+  }
+}
+
+}  // namespace slim::num

@@ -1,0 +1,34 @@
+#pragma once
+
+// RMSNorm and SwiGLU with manual backward passes.
+//
+// Both follow the paper's memory-thrifty conventions (§5): RMSNorm keeps no
+// output (gradients are recomputed from the input), and SwiGLU recomputes
+// the swish product from the stored gate/up projections.
+
+#include "src/numerics/tensor.hpp"
+
+namespace slim::num {
+
+inline constexpr float kRmsEps = 1e-5f;
+
+/// y[r] = x[r] / rms(x[r]) * w   (w broadcast over rows).
+Tensor rmsnorm(const Tensor& x, const Tensor& weight);
+
+/// Backward from dy; accumulates into dweight, returns dx. Recomputes the
+/// normalizer from x (memory-efficient variant).
+Tensor rmsnorm_bwd(const Tensor& x, const Tensor& weight, const Tensor& dy,
+                   Tensor& dweight);
+
+/// silu(x) = x * sigmoid(x).
+float silu(float x);
+float silu_grad(float x);
+
+/// out = silu(gate) * up, elementwise.
+Tensor swiglu(const Tensor& gate, const Tensor& up);
+
+/// Backward: fills dgate and dup from dout (recomputing silu from gate).
+void swiglu_bwd(const Tensor& gate, const Tensor& up, const Tensor& dout,
+                Tensor& dgate, Tensor& dup);
+
+}  // namespace slim::num

@@ -1,0 +1,22 @@
+#pragma once
+
+// Rotary position embeddings: pairwise rotation of feature dimensions with
+// position-dependent angles. The backward rotation is the inverse rotation,
+// so RoPE needs no stored activations.
+
+#include <cstdint>
+
+#include "src/numerics/tensor.hpp"
+
+namespace slim::num {
+
+inline constexpr float kRopeBase = 10000.0f;
+
+/// Rotates each row of `x` (shape s x d, d even) in place for global
+/// positions [pos_offset, pos_offset + s).
+void rope_apply(Tensor& x, std::int64_t pos_offset);
+
+/// Gradient: rotate `dx` by the negative angles (in place).
+void rope_apply_bwd(Tensor& dx, std::int64_t pos_offset);
+
+}  // namespace slim::num

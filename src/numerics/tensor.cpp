@@ -1,0 +1,151 @@
+#include "src/numerics/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slim::num {
+
+Tensor Tensor::randn(std::int64_t rows, std::int64_t cols, Rng& rng,
+                     float scale) {
+  Tensor t(rows, cols);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t.data_[static_cast<std::size_t>(i)] = rng.next_float_symmetric(scale);
+  }
+  return t;
+}
+
+Tensor Tensor::slice_rows(std::int64_t begin, std::int64_t end) const {
+  SLIM_CHECK(0 <= begin && begin <= end && end <= rows_, "bad row slice");
+  Tensor out(end - begin, cols_);
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin * cols_),
+            data_.begin() + static_cast<std::ptrdiff_t>(end * cols_),
+            out.data_.begin());
+  return out;
+}
+
+Tensor Tensor::slice_cols(std::int64_t begin, std::int64_t end) const {
+  SLIM_CHECK(0 <= begin && begin <= end && end <= cols_, "bad col slice");
+  Tensor out(rows_, end - begin);
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t c = begin; c < end; ++c) {
+      out.at(r, c - begin) = at(r, c);
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::vcat(const std::vector<Tensor>& parts) {
+  if (parts.empty()) return {};
+  std::int64_t rows = 0;
+  for (const Tensor& p : parts) {
+    SLIM_CHECK(p.cols() == parts.front().cols(), "vcat column mismatch");
+    rows += p.rows();
+  }
+  Tensor out(rows, parts.front().cols());
+  std::int64_t r = 0;
+  for (const Tensor& p : parts) {
+    out.assign_rows(r, p);
+    r += p.rows();
+  }
+  return out;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::add_(const Tensor& other) { add_scaled_(other, 1.0f); }
+
+void Tensor::add_scaled_(const Tensor& other, float scale) {
+  SLIM_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "add_ shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+Tensor Tensor::transposed() const {
+  Tensor out(cols_, rows_);
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+void Tensor::assign_rows(std::int64_t row_begin, const Tensor& src) {
+  SLIM_CHECK(src.cols_ == cols_ && row_begin + src.rows_ <= rows_,
+             "assign_rows shape mismatch");
+  std::copy(src.data_.begin(), src.data_.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(row_begin * cols_));
+}
+
+float Tensor::max_abs_diff(const Tensor& other) const {
+  SLIM_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "max_abs_diff shape mismatch");
+  float best = 0.0f;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    best = std::max(best, std::fabs(data_[i] - other.data_[i]));
+  }
+  return best;
+}
+
+bool Tensor::allclose(const Tensor& other, float atol) const {
+  return max_abs_diff(other) <= atol;
+}
+
+float Tensor::l2norm() const {
+  double sum = 0.0;
+  for (float v : data_) sum += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(sum));
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  SLIM_CHECK(a.cols() == b.rows(), "matmul shape mismatch");
+  Tensor c(a.rows(), b.cols());
+  const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = a.at(i, kk);
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + kk * n;
+      float* crow = c.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  SLIM_CHECK(a.cols() == b.cols(), "matmul_nt shape mismatch");
+  Tensor c(a.rows(), b.rows());
+  const std::int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      double sum = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
+      c.at(i, j) = static_cast<float>(sum);
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  SLIM_CHECK(a.rows() == b.rows(), "matmul_tn shape mismatch");
+  Tensor c(a.cols(), b.cols());
+  const std::int64_t m = a.cols(), k = a.rows(), n = b.cols();
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.data() + kk * m;
+    const float* brow = b.data() + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace slim::num

@@ -1,0 +1,80 @@
+#pragma once
+
+// Minimal dense float tensor (row-major, rank <= 2 semantics) for the
+// numerics substrate. This is deliberately simple: the substrate exists to
+// prove SlimPipe's slice-wise math (streaming causal attention, online
+// softmax merges, sharded-vocabulary losses, LIFO backward) is bit-for-bit
+// equivalent to monolithic execution, not to be fast.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/logging.hpp"
+#include "src/util/rng.hpp"
+
+namespace slim::num {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::int64_t rows, std::int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), 0.0f) {
+    SLIM_CHECK(rows >= 0 && cols >= 0, "negative tensor shape");
+  }
+
+  static Tensor randn(std::int64_t rows, std::int64_t cols, Rng& rng,
+                      float scale = 0.1f);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  float at(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  /// Rows [begin, end) as a copy.
+  Tensor slice_rows(std::int64_t begin, std::int64_t end) const;
+
+  /// Columns [begin, end) as a copy.
+  Tensor slice_cols(std::int64_t begin, std::int64_t end) const;
+
+  /// Stacks `parts` vertically (all must share cols).
+  static Tensor vcat(const std::vector<Tensor>& parts);
+
+  void fill(float value);
+  void add_(const Tensor& other);          // this += other
+  void add_scaled_(const Tensor& other, float scale);
+  Tensor transposed() const;
+
+  /// Writes `src` into rows [row_begin, row_begin + src.rows()).
+  void assign_rows(std::int64_t row_begin, const Tensor& src);
+
+  /// Max absolute difference against `other` (shapes must match).
+  float max_abs_diff(const Tensor& other) const;
+  bool allclose(const Tensor& other, float atol = 1e-5f) const;
+
+  float l2norm() const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B           (m x k) * (k x n)
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A * B^T         (m x k) * (n x k)^T
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/// C = A^T * B         (k x m)^T * (k x n)
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+}  // namespace slim::num

@@ -1,0 +1,168 @@
+#pragma once
+
+// A real (CPU, fp32) transformer layer and tiny language model that execute
+// SlimPipe's slice-wise schedule numerically: forward slice-by-slice with a
+// chunked KV cache, backward strictly LIFO with per-chunk KV gradient
+// accumulation. The equivalence tests compare against monolithic
+// execution — this is the functional proof that uniform slicing, KV chunk
+// reuse and reverse-order backward compute the exact same gradients.
+//
+// Memory-thrifty conventions from the paper's §5 are followed: RMSNorm
+// outputs and the SwiGLU product are recomputed in backward, not stored.
+
+#include <cstdint>
+#include <vector>
+
+#include <optional>
+
+#include "src/numerics/attention.hpp"
+#include "src/numerics/moe.hpp"
+#include "src/numerics/cross_entropy.hpp"
+#include "src/numerics/norm_act.hpp"
+#include "src/numerics/rope.hpp"
+#include "src/numerics/tensor.hpp"
+#include "src/util/rng.hpp"
+
+namespace slim::num {
+
+struct BlockDims {
+  std::int64_t hidden = 0;
+  std::int64_t heads = 0;
+  std::int64_t kv_heads = 0;  // GQA groups; == heads for MHA
+  std::int64_t ffn = 0;
+
+  std::int64_t head_dim() const { return hidden / heads; }
+  std::int64_t kv_hidden() const { return kv_heads * head_dim(); }
+};
+
+struct LayerWeights {
+  Tensor wq, wk, wv, wo;        // (h,h) (h,kvh) (h,kvh) (h,h)
+  Tensor w_gate, w_up, w_down;  // (h,f) (h,f) (f,h)
+  Tensor norm1, norm2;          // (1,h)
+
+  static LayerWeights random(const BlockDims& dims, Rng& rng);
+
+  /// In-place SGD step: w -= lr * g.
+  void apply_sgd(const struct LayerGrads& grads, float lr);
+};
+
+struct LayerGrads {
+  Tensor wq, wk, wv, wo, w_gate, w_up, w_down, norm1, norm2;
+  std::optional<MoeGrads> moe;  // set for MoE layers
+
+  static LayerGrads zeros(const BlockDims& dims);
+  static LayerGrads zeros_moe(const BlockDims& dims, const MoeDims& moe);
+  void add_(const LayerGrads& other);
+  float max_abs_diff(const LayerGrads& other) const;
+};
+
+/// One transformer layer executing slices against a chunked KV cache.
+class Layer {
+ public:
+  Layer(BlockDims dims, LayerWeights weights);
+
+  /// Mixture-of-Experts variant (Mixtral-style, Table 3): the dense FFN is
+  /// replaced by a routed top-k expert FFN; attention is unchanged.
+  Layer(BlockDims dims, LayerWeights weights, MoeDims moe_dims,
+        MoeWeights moe_weights);
+
+  bool is_moe() const { return moe_weights_.has_value(); }
+  const std::optional<MoeDims>& moe_dims() const { return moe_dims_; }
+
+  /// SGD step on all of this layer's parameters (dense + MoE).
+  void apply_sgd(const LayerGrads& grads, float lr);
+
+  const BlockDims& dims() const { return dims_; }
+  const LayerWeights& weights() const { return weights_; }
+  LayerWeights& mutable_weights() { return weights_; }
+
+  /// Forward of a slice whose first token has global position `pos`.
+  /// Appends one KV chunk to microbatch `mb`'s cache; a microbatch's
+  /// slices must arrive in position order. Several microbatches may be in
+  /// flight at once (1F1B interleaves them); each keeps its own cache.
+  Tensor forward_slice(const Tensor& x, std::int64_t pos, int mb = 0);
+
+  /// Backward of microbatch `mb`'s most recent un-backwarded slice (LIFO
+  /// within the microbatch, enforced). Returns dx; accumulates into
+  /// `grads`. Frees the slice's activations and its KV chunk (the
+  /// steady-state memory invariant of §4.1.2).
+  Tensor backward_slice(const Tensor& dout, LayerGrads& grads, int mb = 0);
+
+  /// Live (not yet backwarded) slices across all in-flight microbatches.
+  std::int64_t live_slices() const;
+  std::int64_t cache_chunks() const;
+
+  /// Clears cache/activations (abandoning any pending backward).
+  void reset();
+
+ private:
+  struct CacheChunk {
+    Tensor k, v;      // post-RoPE keys, values (s, kvh)
+    std::int64_t pos = 0;
+    Tensor dk, dv;    // gradient accumulators, completed LIFO
+  };
+  struct SliceActs {
+    Tensor x;         // layer input
+    Tensor x2;        // post-attention residual
+    Tensor q_rot;     // rotated queries
+    Tensor gate, up;  // MLP projections
+    Tensor attn_cat;  // per-head attention outputs, concatenated
+    std::vector<std::vector<float>> m, l;  // per head, per query row
+    std::int64_t pos = 0;
+  };
+  struct MicrobatchState {
+    std::vector<CacheChunk> cache;
+    std::vector<SliceActs> acts;
+  };
+
+  MicrobatchState& state_of(int mb);
+
+  BlockDims dims_;
+  LayerWeights weights_;
+  std::optional<MoeDims> moe_dims_;
+  std::optional<MoeWeights> moe_weights_;
+  std::vector<std::pair<int, MicrobatchState>> microbatches_;
+};
+
+/// Tiny LM: tied embedding, L layers, final norm, vocabulary head.
+class TinyModel {
+ public:
+  TinyModel(BlockDims dims, std::int64_t vocab, std::int64_t num_layers,
+            Rng& rng);
+
+  /// Mixture-of-Experts model (every layer routed, Mixtral-style).
+  TinyModel(BlockDims dims, std::int64_t vocab, std::int64_t num_layers,
+            MoeDims moe, Rng& rng);
+
+  struct Grads {
+    Tensor embedding;
+    std::vector<LayerGrads> layers;
+    Tensor final_norm;
+    float max_abs_diff(const Grads& other) const;
+  };
+
+  /// One full forward+backward over `tokens` (next-token targets) split
+  /// into `n_slices` uniform slices, forward in order, backward LIFO.
+  /// Returns the mean loss; accumulates gradients.
+  double train_step(const std::vector<std::int64_t>& tokens,
+                    const std::vector<std::int64_t>& targets, int n_slices,
+                    Grads& grads, int vocab_shards = 1);
+
+  Grads zero_grads() const;
+
+  /// In-place SGD step on every parameter (used by the convergence tests;
+  /// gradient *equivalence* across schedules is the main deliverable).
+  void apply_sgd(const Grads& grads, float lr);
+
+  std::int64_t vocab() const { return vocab_; }
+  const BlockDims& dims() const { return dims_; }
+
+ private:
+  BlockDims dims_;
+  std::int64_t vocab_;
+  Tensor embedding_;  // (vocab, h), tied with the output head
+  std::vector<Layer> layers_;
+  Tensor final_norm_;
+};
+
+}  // namespace slim::num

@@ -1,0 +1,96 @@
+#include "src/parallel/config.hpp"
+
+#include <sstream>
+
+#include "src/util/logging.hpp"
+#include "src/util/math.hpp"
+
+namespace slim::parallel {
+
+std::string HybridConfig::describe() const {
+  std::ostringstream out;
+  out << core::scheme_name(scheme) << " t=" << t << " c=" << c << " d=" << d;
+  if (e > 1) out << " e=" << e;
+  out << " p=" << p;
+  if (v > 1) out << " v=" << v;
+  if (n > 1) out << " n=" << n;
+  out << " ckpt=" << model::to_string(policy);
+  if (offload_ratio > 0.0) {
+    out << " offload=" << static_cast<int>(offload_ratio * 100.0) << "%";
+  }
+  return out.str();
+}
+
+std::string validate(const HybridConfig& cfg,
+                     const model::TransformerConfig& model, int num_gpus,
+                     std::int64_t seq, std::int64_t tokens_per_iter) {
+  std::ostringstream err;
+  if (cfg.world() != num_gpus) {
+    err << "t*c*d*p != world size; ";
+  }
+  if (model.heads % cfg.t != 0 || model.kv_heads() % cfg.t != 0) {
+    err << "attention heads not divisible by TP; ";
+  }
+  if (cfg.t > 8) err << "TP exceeds the NVLink domain; ";
+  if (model.layers % (cfg.p * cfg.v) != 0) {
+    err << "layers not divisible by p*v; ";
+  }
+  if (cfg.e > 1) {
+    if (!model.is_moe()) {
+      err << "expert parallelism on a dense model; ";
+    } else if (model.experts % cfg.e != 0) {
+      err << "experts not divisible by e; ";
+    } else if ((cfg.c * cfg.d) % cfg.e != 0) {
+      err << "e must divide c*d; ";
+    }
+  }
+  const std::int64_t m = cfg.microbatches(seq, tokens_per_iter);
+  if (m < 1) {
+    err << "global batch smaller than data parallelism; ";
+  }
+  if (cfg.scheme == core::Scheme::Interleaved1F1B && cfg.v > 1 &&
+      m % cfg.p != 0) {
+    err << "interleaved 1F1B needs microbatches divisible by p; ";
+  }
+  if (cfg.scheme == core::Scheme::SlimPipe ||
+      cfg.scheme == core::Scheme::TeraPipe) {
+    if (cfg.n % cfg.p != 0) err << "n must be a multiple of p; ";
+    if (seq % cfg.n != 0) err << "sequence not divisible into n slices; ";
+    else if ((seq / cfg.n) % cfg.c != 0) err << "slice not divisible by CP; ";
+  } else if (cfg.n != 1) {
+    err << "only SlimPipe/TeraPipe slice sequences; ";
+  }
+  if ((cfg.scheme == core::Scheme::ZBV || cfg.scheme == core::Scheme::VHalf ||
+       cfg.scheme == core::Scheme::VMin) &&
+      cfg.v != 2) {
+    err << "V-shaped schemes use v == 2; ";
+  }
+  if (seq % cfg.c != 0) err << "sequence not divisible by CP; ";
+  return err.str();
+}
+
+sched::PipelineSpec make_spec(const HybridConfig& cfg,
+                              const model::TransformerConfig& model,
+                              const model::GpuSpec& gpu, std::int64_t seq,
+                              std::int64_t tokens_per_iter) {
+  sched::PipelineSpec spec;
+  spec.cfg = model;
+  spec.gpu = gpu;
+  spec.shard = model::Shard{cfg.t, cfg.c, cfg.e, 8};
+  spec.policy = cfg.policy;
+  spec.p = static_cast<int>(cfg.p);
+  spec.v = cfg.v;
+  spec.n = cfg.n;
+  spec.seq = seq;
+  spec.m = static_cast<int>(cfg.microbatches(seq, tokens_per_iter));
+  spec.d = cfg.d;
+  spec.offload.ratio = cfg.offload_ratio;
+  spec.offload.pcie_bandwidth = gpu.pcie_bandwidth;
+  if (cfg.scheme == core::Scheme::SlimPipe) {
+    spec.vocab_parallel = true;
+    spec.context_exchange = true;
+  }
+  return spec;
+}
+
+}  // namespace slim::parallel

@@ -1,0 +1,57 @@
+#pragma once
+
+// Hybrid parallelism configuration: (t, c, d, e, p) plus the scheme-level
+// knobs (v, n, checkpoint policy, offload). World size = t * c * d * p;
+// expert parallelism reuses the context/data dimensions (e | c * d), as in
+// the paper's Table 4 configurations.
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/runner.hpp"
+#include "src/memory/offload.hpp"
+#include "src/model/activation.hpp"
+#include "src/model/hardware.hpp"
+#include "src/model/transformer.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace slim::parallel {
+
+struct HybridConfig {
+  std::int64_t t = 1;  // tensor parallel (with sequence parallel)
+  std::int64_t c = 1;  // context parallel
+  std::int64_t d = 1;  // data parallel
+  std::int64_t e = 1;  // expert parallel
+  std::int64_t p = 1;  // pipeline parallel
+  int v = 1;           // stage chunks per pipeline device
+  int n = 1;           // slices per sequence (SlimPipe / TeraPipe)
+  model::CheckpointPolicy policy = model::CheckpointPolicy::None;
+  double offload_ratio = 0.0;
+  core::Scheme scheme = core::Scheme::SlimPipe;
+
+  std::int64_t world() const { return t * c * d * p; }
+
+  /// Microbatches per pipeline (sequences per iteration per DP replica).
+  std::int64_t microbatches(std::int64_t seq, std::int64_t tokens_per_iter) const {
+    if (seq <= 0 || tokens_per_iter % seq != 0) return 0;
+    const std::int64_t batch = tokens_per_iter / seq;
+    if (batch % d != 0) return 0;
+    return batch / d;
+  }
+
+  std::string describe() const;
+};
+
+/// Structural validity (divisibility, head limits, scheme constraints).
+/// Returns an error string, or empty when valid.
+std::string validate(const HybridConfig& cfg,
+                     const model::TransformerConfig& model, int num_gpus,
+                     std::int64_t seq, std::int64_t tokens_per_iter);
+
+/// Builds the pipeline spec this configuration describes.
+sched::PipelineSpec make_spec(const HybridConfig& cfg,
+                              const model::TransformerConfig& model,
+                              const model::GpuSpec& gpu, std::int64_t seq,
+                              std::int64_t tokens_per_iter);
+
+}  // namespace slim::parallel

@@ -1,0 +1,80 @@
+#include "src/parallel/pareto.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/units.hpp"
+
+namespace slim::parallel {
+
+std::string ParetoPoint::describe() const {
+  std::ostringstream out;
+  out << "ckpt=" << model::to_string(policy) << " offload="
+      << static_cast<int>(offload_ratio * 100.0) << "%: "
+      << format_bytes(peak_memory) << ", " << format_time(iteration_time)
+      << " (" << format_percent(mfu) << " MFU" << (oom ? ", OOM" : "")
+      << ")";
+  return out.str();
+}
+
+std::vector<ParetoPoint> pareto_frontier(std::vector<ParetoPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.peak_memory != b.peak_memory) {
+                return a.peak_memory < b.peak_memory;
+              }
+              return a.iteration_time < b.iteration_time;
+            });
+  std::vector<ParetoPoint> frontier;
+  double best_time = 1e300;
+  for (const ParetoPoint& point : points) {
+    if (point.iteration_time < best_time) {
+      frontier.push_back(point);
+      best_time = point.iteration_time;
+    }
+  }
+  return frontier;
+}
+
+std::vector<ParetoPoint> checkpoint_pareto(
+    const HybridConfig& base, const model::TransformerConfig& model,
+    const model::GpuSpec& gpu, std::int64_t seq, std::int64_t tokens_per_iter,
+    const std::vector<double>& offload_ratios) {
+  std::vector<ParetoPoint> points;
+  for (const auto policy :
+       {model::CheckpointPolicy::None, model::CheckpointPolicy::Selective,
+        model::CheckpointPolicy::Full}) {
+    for (const double offload : offload_ratios) {
+      HybridConfig cfg = base;
+      cfg.policy = policy;
+      cfg.offload_ratio = offload;
+      if (!validate(cfg, model, static_cast<int>(cfg.world()), seq,
+                    tokens_per_iter)
+               .empty()) {
+        continue;
+      }
+      const auto spec = make_spec(cfg, model, gpu, seq, tokens_per_iter);
+      const auto r = core::run_scheme(cfg.scheme, spec);
+      ParetoPoint point;
+      point.policy = policy;
+      point.offload_ratio = offload;
+      point.peak_memory = r.peak_memory;
+      point.iteration_time = r.iteration_time;
+      point.mfu = r.mfu;
+      point.oom = r.oom;
+      points.push_back(point);
+    }
+  }
+  // Mark the frontier in place.
+  const auto frontier = pareto_frontier(points);
+  for (ParetoPoint& point : points) {
+    for (const ParetoPoint& f : frontier) {
+      if (f.policy == point.policy && f.offload_ratio == point.offload_ratio) {
+        point.on_frontier = true;
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace slim::parallel

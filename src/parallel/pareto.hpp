@@ -1,0 +1,39 @@
+#pragma once
+
+// Memory/runtime Pareto exploration over activation-rematerialization
+// strategies (checkpoint policy x offload ratio) for a fixed hybrid
+// parallelism layout — the instrument of Yuan et al. [48], which the paper
+// builds on for its offloading and checkpointing decisions (§2.3, §6.5):
+// "the strategy is developed by training models along the Pareto frontier,
+// optimizing the trade-off between memory consumption and runtime".
+
+#include <vector>
+
+#include "src/parallel/config.hpp"
+
+namespace slim::parallel {
+
+struct ParetoPoint {
+  model::CheckpointPolicy policy = model::CheckpointPolicy::None;
+  double offload_ratio = 0.0;
+  double peak_memory = 0.0;     // bytes
+  double iteration_time = 0.0;  // seconds
+  double mfu = 0.0;
+  bool oom = false;
+  bool on_frontier = false;
+
+  std::string describe() const;
+};
+
+/// Simulates every (policy, offload) combination of `base`'s layout and
+/// marks the Pareto-efficient points (no other point has both lower memory
+/// and lower time).
+std::vector<ParetoPoint> checkpoint_pareto(
+    const HybridConfig& base, const model::TransformerConfig& model,
+    const model::GpuSpec& gpu, std::int64_t seq, std::int64_t tokens_per_iter,
+    const std::vector<double>& offload_ratios = {0.0, 0.25, 0.5, 0.75, 0.9});
+
+/// Non-dominated subset of arbitrary points, sorted by memory ascending.
+std::vector<ParetoPoint> pareto_frontier(std::vector<ParetoPoint> points);
+
+}  // namespace slim::parallel

@@ -1,0 +1,79 @@
+#pragma once
+
+// Blocking message channel between pipeline-stage threads — the
+// shared-memory analogue of the point-to-point sends a distributed SlimPipe
+// implementation posts between pipeline ranks.
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace slim::rt {
+
+template <typename T>
+class Channel {
+ public:
+  /// Appends a message (FIFO order, like a NCCL P2P stream).
+  void send(T message) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(message));
+    }
+    cv_.notify_one();
+  }
+
+  /// Prepends a message: used for stage-local continuations (LIFO backward
+  /// triggers) that must run before newly arriving work.
+  void send_front(T message) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_front(std::move(message));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until a message is available.
+  T receive() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty(); });
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  /// Blocks up to `timeout`; returns nullopt on expiry (deadlock probes).
+  template <typename Rep, typename Period>
+  std::optional<T> receive_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout, [&] { return !queue_.empty(); })) {
+      return std::nullopt;
+    }
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_receive() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+};
+
+}  // namespace slim::rt

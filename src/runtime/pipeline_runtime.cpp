@@ -1,0 +1,531 @@
+#include "src/runtime/pipeline_runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <thread>
+
+#include "src/numerics/cross_entropy.hpp"
+#include "src/numerics/norm_act.hpp"
+#include "src/util/logging.hpp"
+
+namespace slim::rt {
+
+namespace {
+
+struct Message {
+  enum class Kind {
+    Forward,
+    Backward,
+    VocabWork,    // broadcast hidden states -> every shard   (last -> all)
+    VocabStats,   // per-token (max, sumexp, target) scalars  (shard -> last)
+    VocabGlobal,  // synchronized (max, sumexp) scalars       (last -> all)
+    VocabDx,      // partial d(hidden) of one shard           (shard -> last)
+  } kind = Kind::Forward;
+  int mb = 0;
+  int slice = 0;
+  int shard = 0;        // sender shard for VocabStats / VocabDx
+  int stage = 0;        // global stage index (interleaving routes by it)
+  num::Tensor payload;  // activation / gradient / packed scalars
+};
+
+}  // namespace
+
+ThreadedPipeline::ThreadedPipeline(num::BlockDims dims, std::int64_t vocab,
+                                   int layers_total, int stages, Rng& rng,
+                                   int chunks_per_stage)
+    : dims_(dims),
+      vocab_(vocab),
+      layers_total_(layers_total),
+      stages_(stages),
+      chunks_per_stage_(chunks_per_stage) {
+  const int total_stages = stages * chunks_per_stage;
+  SLIM_CHECK(stages >= 1 && chunks_per_stage >= 1 &&
+                 layers_total >= total_stages,
+             "need at least one layer per stage chunk");
+  embedding_ = num::Tensor::randn(
+      vocab, dims.hidden, rng, 0.5f / std::sqrt(static_cast<float>(dims.hidden)));
+  final_norm_ = num::Tensor(1, dims.hidden);
+  final_norm_.fill(1.0f);
+  for (int i = 0; i < layers_total; ++i) {
+    layer_weights_.push_back(num::LayerWeights::random(dims, rng));
+  }
+  // Even split over global stages; earlier stages take the remainder
+  // (matches the scheduler's uneven-stage convention).
+  const int base = layers_total / total_stages;
+  const int rem = layers_total % total_stages;
+  int begin = 0;
+  for (int s = 0; s < total_stages; ++s) {
+    const int count = base + (s < rem ? 1 : 0);
+    stage_layers_.emplace_back(begin, begin + count);
+    begin += count;
+  }
+}
+
+ThreadedPipeline::Result ThreadedPipeline::run_iteration(
+    const std::vector<std::vector<std::int64_t>>& tokens,
+    const std::vector<std::vector<std::int64_t>>& targets, int n_slices,
+    bool vocab_parallel) {
+  const int m = static_cast<int>(tokens.size());
+  SLIM_CHECK(m >= 1 && targets.size() == tokens.size(), "bad microbatches");
+  const std::int64_t seq = static_cast<std::int64_t>(tokens[0].size());
+  SLIM_CHECK(n_slices >= 1 && seq % n_slices == 0, "uneven slices");
+  const std::int64_t slice_len = seq / n_slices;
+  const int p = stages();
+  SLIM_CHECK(!vocab_parallel || vocab_ % p == 0,
+             "vocabulary must split evenly across stages");
+  const std::int64_t shard_width = vocab_parallel ? vocab_ / p : vocab_;
+
+  Result result;
+  result.grads.embedding = num::Tensor(vocab_, dims_.hidden);
+  for (int i = 0; i < layers_total_; ++i) {
+    result.grads.layers.push_back(num::LayerGrads::zeros(dims_));
+  }
+  result.grads.final_norm = num::Tensor(1, dims_.hidden);
+  result.stats.peak_live_slices.assign(static_cast<std::size_t>(p), 0);
+  result.stats.messages.assign(static_cast<std::size_t>(p), 0);
+
+  std::vector<Channel<Message>> inbox(static_cast<std::size_t>(p));
+  // Seed stage 0 with every forward slice in slice-stream order.
+  for (int mb = 0; mb < m; ++mb) {
+    for (int s = 0; s < n_slices; ++s) {
+      inbox[0].send({Message::Kind::Forward, mb, s, 0, 0, {}});
+    }
+  }
+
+  // Tied embedding: input-side gradient owned by stage 0, output-head
+  // gradient by the last stage (or one row-shard per stage under
+  // vocabulary parallelism); summed after the join.
+  num::Tensor embed_grad_in(vocab_, dims_.hidden);
+  std::vector<num::Tensor> head_shard_grad;
+  for (int s = 0; s < p; ++s) {
+    head_shard_grad.emplace_back(vocab_parallel ? shard_width : vocab_,
+                                 dims_.hidden);
+  }
+  double total_loss = 0.0;
+  const float slice_weight = static_cast<float>(slice_len) /
+                             (static_cast<float>(seq) * static_cast<float>(m));
+
+  const int v = chunks_per_stage_;
+  const int total_stages = p * v;
+  auto worker = [&](int stage) {
+    // This thread owns global stages stage, p+stage, 2p+stage, ...
+    std::vector<std::vector<num::Layer>> chunk_layers(
+        static_cast<std::size_t>(v));
+    for (int chunk = 0; chunk < v; ++chunk) {
+      const int global_stage = chunk * p + stage;
+      const auto [clo, chi] =
+          stage_layers_[static_cast<std::size_t>(global_stage)];
+      for (int i = clo; i < chi; ++i) {
+        chunk_layers[static_cast<std::size_t>(chunk)].emplace_back(
+            dims_, layer_weights_[static_cast<std::size_t>(i)]);
+      }
+    }
+    const int head_thread = (total_stages - 1) % p;
+    const bool is_last = stage == head_thread;
+    const std::int64_t shard_lo =
+        vocab_parallel ? stage * shard_width : 0;
+    const num::Tensor head_shard =
+        vocab_parallel ? embedding_.slice_rows(shard_lo, shard_lo + shard_width)
+                       : embedding_;
+
+    // Last-stage per-(mb, slice) state.
+    auto idx = [&](int mb, int slice) {
+      return static_cast<std::size_t>(mb * n_slices + slice);
+    };
+    std::vector<num::Tensor> head_grad(idx(m - 1, n_slices - 1) + 1);
+    std::vector<bool> head_ready(head_grad.size(), false);
+    std::vector<num::Tensor> final_input(is_last ? head_grad.size() : 0);
+    std::vector<num::Tensor> dx_sum(is_last ? head_grad.size() : 0);
+    std::vector<int> stats_seen(is_last ? head_grad.size() : 0, 0);
+    std::vector<int> dx_seen(is_last ? head_grad.size() : 0, 0);
+    std::vector<num::CeShardStats> stats_acc(
+        is_last ? head_grad.size() : 0);
+    // Shard-side stash of hidden states between the two vocabulary phases.
+    std::vector<num::Tensor> shard_hidden(
+        vocab_parallel ? head_grad.size() : 0);
+
+    // Work targets (loop until every expected action completed).
+    const int want_f = m * n_slices * v;
+    const int want_b = m * n_slices * v;
+    const int want_vocab_work = vocab_parallel ? m * n_slices : 0;
+    const int want_vocab_global = vocab_parallel ? m * n_slices : 0;
+    int done_f = 0, done_b = 0, done_vw = 0, done_vg = 0;
+
+    auto slice_targets_of = [&](int mb, int slice) {
+      const std::int64_t pos = static_cast<std::int64_t>(slice) * slice_len;
+      return std::vector<std::int64_t>(
+          targets[static_cast<std::size_t>(mb)].begin() + pos,
+          targets[static_cast<std::size_t>(mb)].begin() + pos + slice_len);
+    };
+
+    int live = 0, peak_live = 0;
+    int mb_min = 0;
+    std::vector<int> b_done(static_cast<std::size_t>(m), 0);
+    std::int64_t messages = 0;
+    // SlimPipe's warm-up window (Eq. 1): stage r holds at most
+    // n + 2(p-1-r) live slices; excess forwards wait here until a backward
+    // frees a slot. This is what gives the runtime its bounded footprint.
+    const int live_cap = n_slices * v + 2 * (p - 1 - stage);
+    std::deque<Message> deferred;
+    while (done_f < want_f || done_b < want_b || done_vw < want_vocab_work ||
+           done_vg < want_vocab_global) {
+      // Oldest microbatch not yet fully retired on this thread: its
+      // forwards are always admitted (they are upstream of the backwards
+      // that drain the window), so the throttle can never deadlock.
+      while (mb_min < m && b_done[static_cast<std::size_t>(mb_min)] ==
+                               n_slices * v) {
+        ++mb_min;
+      }
+      Message msg;
+      bool have = false;
+      if (!deferred.empty() &&
+          (live < live_cap || deferred.front().mb == mb_min)) {
+        msg = std::move(deferred.front());
+        deferred.pop_front();
+        have = true;
+      }
+      while (!have) {
+        auto received = inbox[static_cast<std::size_t>(stage)].receive_for(
+            std::chrono::seconds(30));
+        SLIM_CHECK(received.has_value(),
+                   "pipeline stage " + std::to_string(stage) +
+                       " starved: f=" + std::to_string(done_f) + "/" +
+                       std::to_string(want_f) + " b=" +
+                       std::to_string(done_b) + "/" +
+                       std::to_string(want_b) + " live=" +
+                       std::to_string(live) + " cap=" +
+                       std::to_string(live_cap));
+        ++messages;
+        // Eq. 1's warm-up window: park forwards of *younger* microbatches
+        // while the window is full.
+        if (received->kind == Message::Kind::Forward &&
+            received->mb != mb_min && live >= live_cap) {
+          deferred.push_back(std::move(*received));
+          continue;
+        }
+        msg = std::move(*received);
+        have = true;
+      }
+      switch (msg.kind) {
+        case Message::Kind::Forward: {
+          ++done_f;
+          ++live;
+          peak_live = std::max(peak_live, live);
+          const std::int64_t pos =
+              static_cast<std::int64_t>(msg.slice) * slice_len;
+          num::Tensor x;
+          if (msg.stage == 0) {
+            x = num::Tensor(slice_len, dims_.hidden);
+            const auto& ids = tokens[static_cast<std::size_t>(msg.mb)];
+            for (std::int64_t r = 0; r < slice_len; ++r) {
+              const std::int64_t id = ids[static_cast<std::size_t>(pos + r)];
+              for (std::int64_t c = 0; c < dims_.hidden; ++c) {
+                x.at(r, c) = embedding_.at(id, c);
+              }
+            }
+          } else {
+            x = std::move(msg.payload);
+          }
+          for (num::Layer& layer :
+               chunk_layers[static_cast<std::size_t>(msg.stage / p)]) {
+            x = layer.forward_slice(x, pos, msg.mb);
+          }
+          if (msg.stage + 1 < total_stages) {
+            inbox[static_cast<std::size_t>((msg.stage + 1) % p)].send(
+                {Message::Kind::Forward, msg.mb, msg.slice, 0, msg.stage + 1,
+                 std::move(x)});
+            break;
+          }
+          const num::Tensor hidden = num::rmsnorm(x, final_norm_);
+          if (vocab_parallel) {
+            // Phase 1: broadcast the hidden states to every shard.
+            final_input[idx(msg.mb, msg.slice)] = std::move(x);
+            for (int s = 0; s < p; ++s) {
+              inbox[static_cast<std::size_t>(s)].send(
+                  {Message::Kind::VocabWork, msg.mb, msg.slice, 0, 0, hidden});
+            }
+          } else {
+            const num::Tensor logits = num::matmul_nt(hidden, embedding_);
+            num::CeResult ce = num::cross_entropy(
+                logits, slice_targets_of(msg.mb, msg.slice));
+            total_loss += ce.loss * slice_weight * static_cast<double>(m);
+            for (std::int64_t i = 0; i < ce.dlogits.size(); ++i) {
+              ce.dlogits.data()[i] *= slice_weight;
+            }
+            head_shard_grad[static_cast<std::size_t>(stage)].add_(
+                num::matmul_tn(ce.dlogits, hidden));
+            const num::Tensor dhidden = num::matmul(ce.dlogits, embedding_);
+            head_grad[idx(msg.mb, msg.slice)] = num::rmsnorm_bwd(
+                x, final_norm_, dhidden, result.grads.final_norm);
+            head_ready[idx(msg.mb, msg.slice)] = true;
+            if (msg.slice == n_slices - 1) {
+              inbox[static_cast<std::size_t>(stage)].send_front(
+                  {Message::Kind::Backward, msg.mb, msg.slice, 0,
+                   total_stages - 1, {}});
+            }
+          }
+          break;
+        }
+        case Message::Kind::Backward: {
+          const bool head_edge = msg.stage == total_stages - 1;
+          if (head_edge && !head_ready[idx(msg.mb, msg.slice)]) {
+            // The vocabulary rounds for this slice have not finished yet;
+            // revisit after processing more messages.
+            inbox[static_cast<std::size_t>(stage)].send(std::move(msg));
+            std::this_thread::yield();
+            break;
+          }
+          ++done_b;
+          --live;
+          ++b_done[static_cast<std::size_t>(msg.mb)];
+          num::Tensor dx = head_edge
+                               ? std::move(head_grad[idx(msg.mb, msg.slice)])
+                               : std::move(msg.payload);
+          auto& layers =
+              chunk_layers[static_cast<std::size_t>(msg.stage / p)];
+          const int clo =
+              stage_layers_[static_cast<std::size_t>(msg.stage)].first;
+          for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+            const std::size_t global = static_cast<std::size_t>(
+                clo + static_cast<int>(layers.rend() - it) - 1);
+            dx = it->backward_slice(dx, result.grads.layers[global], msg.mb);
+          }
+          if (msg.stage > 0) {
+            inbox[static_cast<std::size_t>((msg.stage - 1 + p) % p)].send(
+                {Message::Kind::Backward, msg.mb, msg.slice, 0, msg.stage - 1,
+                 std::move(dx)});
+          } else {
+            const auto& ids = tokens[static_cast<std::size_t>(msg.mb)];
+            const std::int64_t pos =
+                static_cast<std::int64_t>(msg.slice) * slice_len;
+            for (std::int64_t r = 0; r < slice_len; ++r) {
+              const std::int64_t id = ids[static_cast<std::size_t>(pos + r)];
+              for (std::int64_t c = 0; c < dims_.hidden; ++c) {
+                embed_grad_in.at(id, c) += dx.at(r, c);
+              }
+            }
+          }
+          if (head_edge && msg.slice > 0) {
+            inbox[static_cast<std::size_t>(stage)].send_front(
+                {Message::Kind::Backward, msg.mb, msg.slice - 1, 0,
+                 total_stages - 1, {}});
+          }
+          break;
+        }
+        case Message::Kind::VocabWork: {
+          ++done_vw;
+          // Shard pass 1: local logits -> per-token scalar statistics.
+          const num::Tensor& hidden = msg.payload;
+          const num::Tensor logits = num::matmul_nt(hidden, head_shard);
+          const num::CeShardStats st = num::ce_shard_stats(
+              logits, shard_lo, slice_targets_of(msg.mb, msg.slice));
+          num::Tensor packed(3, slice_len);
+          for (std::int64_t i = 0; i < slice_len; ++i) {
+            packed.at(0, i) = st.max_logit[static_cast<std::size_t>(i)];
+            packed.at(1, i) = st.sum_exp[static_cast<std::size_t>(i)];
+            packed.at(2, i) = st.target_logit[static_cast<std::size_t>(i)];
+          }
+          shard_hidden[idx(msg.mb, msg.slice)] = hidden;
+          inbox[static_cast<std::size_t>(head_thread)].send(
+              {Message::Kind::VocabStats, msg.mb, msg.slice, stage, 0,
+               std::move(packed)});
+          break;
+        }
+        case Message::Kind::VocabStats: {
+          // Last stage: synchronize the scalars across shards.
+          const std::size_t i = idx(msg.mb, msg.slice);
+          num::CeShardStats& acc = stats_acc[i];
+          if (stats_seen[i] == 0) {
+            acc.max_logit.assign(static_cast<std::size_t>(slice_len),
+                                 -std::numeric_limits<float>::infinity());
+            acc.sum_exp.assign(static_cast<std::size_t>(slice_len), 0.0f);
+            acc.target_logit.assign(
+                static_cast<std::size_t>(slice_len),
+                -std::numeric_limits<float>::infinity());
+          }
+          // Numerically: combine as running (max, rescaled sum).
+          for (std::int64_t t = 0; t < slice_len; ++t) {
+            const std::size_t ti = static_cast<std::size_t>(t);
+            const float sm = msg.payload.at(0, t);
+            const float ss = msg.payload.at(1, t);
+            const float stl = msg.payload.at(2, t);
+            const float gmax = std::max(acc.max_logit[ti], sm);
+            float gsum = 0.0f;
+            if (acc.sum_exp[ti] > 0.0f) {
+              gsum += acc.sum_exp[ti] * std::exp(acc.max_logit[ti] - gmax);
+            }
+            if (ss > 0.0f) gsum += ss * std::exp(sm - gmax);
+            acc.max_logit[ti] = gmax;
+            acc.sum_exp[ti] = gsum;
+            acc.target_logit[ti] = std::max(acc.target_logit[ti], stl);
+          }
+          if (++stats_seen[i] == p) {
+            // Loss from the synchronized scalars; broadcast them back.
+            double loss = 0.0;
+            num::Tensor global(2, slice_len);
+            for (std::int64_t t = 0; t < slice_len; ++t) {
+              const std::size_t ti = static_cast<std::size_t>(t);
+              loss += std::log(acc.sum_exp[ti]) + acc.max_logit[ti] -
+                      acc.target_logit[ti];
+              global.at(0, t) = acc.max_logit[ti];
+              global.at(1, t) = acc.sum_exp[ti];
+            }
+            total_loss += loss / static_cast<double>(slice_len) *
+                          slice_weight * static_cast<double>(m);
+            for (int s = 0; s < p; ++s) {
+              inbox[static_cast<std::size_t>(s)].send(
+                  {Message::Kind::VocabGlobal, msg.mb, msg.slice, 0, 0,
+                   global});
+            }
+          }
+          break;
+        }
+        case Message::Kind::VocabGlobal: {
+          ++done_vg;
+          // Shard pass 2: gradient of the shard's logits from the global
+          // statistics; return the partial d(hidden).
+          const std::size_t i = idx(msg.mb, msg.slice);
+          const num::Tensor hidden = std::move(shard_hidden[i]);
+          const num::Tensor logits = num::matmul_nt(hidden, head_shard);
+          const auto slice_targets = slice_targets_of(msg.mb, msg.slice);
+          num::Tensor dlogits(slice_len, shard_width);
+          for (std::int64_t t = 0; t < slice_len; ++t) {
+            const float gmax = msg.payload.at(0, t);
+            const float gsum = msg.payload.at(1, t);
+            const std::int64_t y =
+                slice_targets[static_cast<std::size_t>(t)] - shard_lo;
+            for (std::int64_t ccol = 0; ccol < shard_width; ++ccol) {
+              const float prob =
+                  std::exp(logits.at(t, ccol) - gmax) / gsum;
+              // Mean over the slice's tokens, then the slice's share of
+              // the iteration mean — matching the monolithic head exactly.
+              dlogits.at(t, ccol) = (prob - (ccol == y ? 1.0f : 0.0f)) *
+                                    (slice_weight /
+                                     static_cast<float>(slice_len));
+            }
+          }
+          head_shard_grad[static_cast<std::size_t>(stage)].add_(
+              num::matmul_tn(dlogits, hidden));
+          num::Tensor dx_part = num::matmul(dlogits, head_shard);
+          inbox[static_cast<std::size_t>(head_thread)].send(
+              {Message::Kind::VocabDx, msg.mb, msg.slice, stage, 0,
+               std::move(dx_part)});
+          break;
+        }
+        case Message::Kind::VocabDx: {
+          // Last stage: reduce the shards' partial d(hidden).
+          const std::size_t i = idx(msg.mb, msg.slice);
+          if (dx_seen[i] == 0) {
+            dx_sum[i] = std::move(msg.payload);
+          } else {
+            dx_sum[i].add_(msg.payload);
+          }
+          if (++dx_seen[i] == p) {
+            head_grad[i] = num::rmsnorm_bwd(final_input[i], final_norm_,
+                                            dx_sum[i],
+                                            result.grads.final_norm);
+            head_ready[i] = true;
+            final_input[i] = {};
+            dx_sum[i] = {};
+            if (msg.slice == n_slices - 1) {
+              inbox[static_cast<std::size_t>(stage)].send_front(
+                  {Message::Kind::Backward, msg.mb, msg.slice, 0,
+                   total_stages - 1, {}});
+            }
+          }
+          break;
+        }
+      }
+    }
+    for (const auto& chunk : chunk_layers) {
+      for (const num::Layer& layer : chunk) {
+        SLIM_CHECK(layer.live_slices() == 0 && layer.cache_chunks() == 0,
+                   "stage leaked slices/chunks");
+      }
+    }
+    result.stats.peak_live_slices[static_cast<std::size_t>(stage)] = peak_live;
+    result.stats.messages[static_cast<std::size_t>(stage)] = messages;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  for (int s = 0; s < p; ++s) threads.emplace_back(worker, s);
+  for (std::thread& t : threads) t.join();
+
+  result.grads.embedding.add_(embed_grad_in);
+  if (vocab_parallel) {
+    for (int s = 0; s < p; ++s) {
+      result.grads.embedding.assign_rows(
+          s * shard_width, [&] {
+            num::Tensor merged =
+                result.grads.embedding.slice_rows(s * shard_width,
+                                                  (s + 1) * shard_width);
+            merged.add_(head_shard_grad[static_cast<std::size_t>(s)]);
+            return merged;
+          }());
+    }
+  } else {
+    result.grads.embedding.add_(head_shard_grad[static_cast<std::size_t>(p - 1)]);
+  }
+  result.loss = total_loss / static_cast<double>(m);
+  return result;
+}
+
+ThreadedPipeline::Result ThreadedPipeline::run_reference(
+    const std::vector<std::vector<std::int64_t>>& tokens,
+    const std::vector<std::vector<std::int64_t>>& targets) {
+  const int m = static_cast<int>(tokens.size());
+  const std::int64_t seq = static_cast<std::int64_t>(tokens[0].size());
+
+  Result result;
+  result.grads.embedding = num::Tensor(vocab_, dims_.hidden);
+  for (int i = 0; i < layers_total_; ++i) {
+    result.grads.layers.push_back(num::LayerGrads::zeros(dims_));
+  }
+  result.grads.final_norm = num::Tensor(1, dims_.hidden);
+
+  std::vector<num::Layer> layers;
+  for (const auto& w : layer_weights_) layers.emplace_back(dims_, w);
+
+  for (int mb = 0; mb < m; ++mb) {
+    num::Tensor x(seq, dims_.hidden);
+    for (std::int64_t r = 0; r < seq; ++r) {
+      const std::int64_t id = tokens[static_cast<std::size_t>(mb)]
+                                    [static_cast<std::size_t>(r)];
+      for (std::int64_t c = 0; c < dims_.hidden; ++c) {
+        x.at(r, c) = embedding_.at(id, c);
+      }
+    }
+    for (num::Layer& layer : layers) x = layer.forward_slice(x, 0, mb);
+
+    const num::Tensor hidden = num::rmsnorm(x, final_norm_);
+    const num::Tensor logits = num::matmul_nt(hidden, embedding_);
+    num::CeResult ce =
+        num::cross_entropy(logits, targets[static_cast<std::size_t>(mb)]);
+    result.loss += ce.loss / static_cast<double>(m);
+    for (std::int64_t i = 0; i < ce.dlogits.size(); ++i) {
+      ce.dlogits.data()[i] /= static_cast<float>(m);
+    }
+    result.grads.embedding.add_(num::matmul_tn(ce.dlogits, hidden));
+    const num::Tensor dhidden = num::matmul(ce.dlogits, embedding_);
+    num::Tensor dx =
+        num::rmsnorm_bwd(x, final_norm_, dhidden, result.grads.final_norm);
+    for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+      const std::size_t global =
+          layers.size() - static_cast<std::size_t>(it - layers.rbegin()) - 1;
+      dx = it->backward_slice(dx, result.grads.layers[global], mb);
+    }
+    for (std::int64_t r = 0; r < seq; ++r) {
+      const std::int64_t id = tokens[static_cast<std::size_t>(mb)]
+                                    [static_cast<std::size_t>(r)];
+      for (std::int64_t c = 0; c < dims_.hidden; ++c) {
+        result.grads.embedding.at(id, c) += dx.at(r, c);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace slim::rt

@@ -1,0 +1,95 @@
+#pragma once
+
+// A working, multi-threaded SlimPipe runtime at miniature scale.
+//
+// Each pipeline stage is a worker thread owning a contiguous block of real
+// transformer layers (src/numerics). Sequences are uniformly sliced;
+// activation slices flow downstream through message channels, gradient
+// slices flow back upstream. Stage-local rules implement the SlimPipe
+// schedule (§4.1.2):
+//
+//  * forwards execute in slice-stream order as they arrive, appending one
+//    KV chunk per slice;
+//  * the last stage buffers per-slice losses; once a microbatch's final
+//    slice has been forwarded its backward chain starts, strictly LIFO in
+//    slices — local backward continuations are queued *ahead* of incoming
+//    forwards, which yields the one-forward-one-backward interleaving
+//    without any global coordinator;
+//  * each backward pops exactly the KV chunk its forward pushed (the
+//    steady-state memory invariant), which the Layer class asserts.
+//
+// The runtime's gradients are compared bit-for-bit (up to float
+// accumulation order) with single-threaded monolithic execution in the
+// tests — a functional proof of the whole scheme, concurrency included.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/numerics/transformer_block.hpp"
+#include "src/runtime/channel.hpp"
+#include "src/util/rng.hpp"
+
+namespace slim::rt {
+
+struct PipelineStats {
+  /// Peak simultaneously-live slices per stage (the Eq. 1 quantity in
+  /// slice units).
+  std::vector<int> peak_live_slices;
+  /// Activation/gradient messages exchanged per stage boundary.
+  std::vector<std::int64_t> messages;
+};
+
+/// Tied-embedding transformer split across `stages` worker threads.
+class ThreadedPipeline {
+ public:
+  /// Builds a model with `layers_total` layers split as evenly as possible
+  /// across `stages * chunks_per_stage` stage chunks (earlier chunks take
+  /// the remainder). `chunks_per_stage > 1` gives the interleaved form of
+  /// Figure 5: thread r owns global stages r, p+r, 2p+r, ...
+  ThreadedPipeline(num::BlockDims dims, std::int64_t vocab, int layers_total,
+                   int stages, Rng& rng, int chunks_per_stage = 1);
+
+  struct Result {
+    double loss = 0.0;
+    num::TinyModel::Grads grads;  // flattened: embedding, all layers, norm
+    PipelineStats stats;
+  };
+
+  /// One training iteration over `microbatches` sequences, each uniformly
+  /// split into `n_slices`. Spawns one thread per stage; returns the mean
+  /// loss and accumulated gradients.
+  ///
+  /// With `vocab_parallel` the output head is sharded row-wise across the
+  /// stage threads (paper §4.3): the last stage broadcasts each slice's
+  /// final hidden states, every stage computes its shard's logits and
+  /// contributes per-token (max, sum-exp, target-logit) statistics, the
+  /// last stage synchronizes the scalars and broadcasts them back, and the
+  /// shards return partial hidden-state gradients — only O(tokens) scalars
+  /// and O(tokens x hidden) activations travel, never O(vocab) logits.
+  Result run_iteration(const std::vector<std::vector<std::int64_t>>& tokens,
+                       const std::vector<std::vector<std::int64_t>>& targets,
+                       int n_slices, bool vocab_parallel = false);
+
+  /// Reference: the same parameters executed monolithically on one thread
+  /// (for equivalence checks).
+  Result run_reference(const std::vector<std::vector<std::int64_t>>& tokens,
+                       const std::vector<std::vector<std::int64_t>>& targets);
+
+  int stages() const { return stages_; }
+  int chunks_per_stage() const { return chunks_per_stage_; }
+  std::int64_t layers_total() const { return layers_total_; }
+
+ private:
+  num::BlockDims dims_;
+  std::int64_t vocab_;
+  std::int64_t layers_total_;
+  int stages_ = 1;
+  int chunks_per_stage_ = 1;
+  num::Tensor embedding_;
+  num::Tensor final_norm_;
+  std::vector<num::LayerWeights> layer_weights_;   // all layers, in order
+  std::vector<std::pair<int, int>> stage_layers_;  // [begin, end) per global stage
+};
+
+}  // namespace slim::rt

@@ -1,0 +1,84 @@
+#include "src/sched/schedule.hpp"
+
+#include <sstream>
+
+#include "src/util/logging.hpp"
+#include "src/util/math.hpp"
+
+namespace slim::sched {
+
+int StageLayout::device_of(int stage) const {
+  SLIM_CHECK(stage >= 0 && stage < num_stages(), "stage out of range");
+  switch (kind) {
+    case StageLayoutKind::Sequential:
+      return stage;
+    case StageLayoutKind::Interleaved:
+      return stage % p;
+    case StageLayoutKind::VShape:
+      // Down the V then back up: stages 0..p-1 map to devices 0..p-1,
+      // stages p..2p-1 map to devices p-1..0.
+      return stage < p ? stage : 2 * p - 1 - stage;
+  }
+  return 0;
+}
+
+int StageLayout::chunk_of(int stage) const {
+  switch (kind) {
+    case StageLayoutKind::Sequential:
+      return 0;
+    case StageLayoutKind::Interleaved:
+      return stage / p;
+    case StageLayoutKind::VShape:
+      return stage < p ? 0 : 1;
+  }
+  return 0;
+}
+
+int StageLayout::stage_of(int device, int chunk) const {
+  SLIM_CHECK(device >= 0 && device < p && chunk >= 0 && chunk < v,
+             "device/chunk out of range");
+  switch (kind) {
+    case StageLayoutKind::Sequential:
+      return device;
+    case StageLayoutKind::Interleaved:
+      return chunk * p + device;
+    case StageLayoutKind::VShape:
+      return chunk == 0 ? device : 2 * p - 1 - device;
+  }
+  return 0;
+}
+
+std::string PipelineSpec::validate() const {
+  std::ostringstream err;
+  if (p < 1 || v < 1 || m < 1 || n < 1) {
+    err << "p, v, m, n must be >= 1; ";
+  }
+  if (layout == StageLayoutKind::Sequential && v != 1) {
+    err << "sequential layout requires v == 1; ";
+  }
+  if (layout == StageLayoutKind::VShape && v != 2) {
+    err << "V-shape layout requires v == 2; ";
+  }
+  if (cfg.layers < static_cast<std::int64_t>(p * v)) {
+    err << "fewer layers (" << cfg.layers << ") than stages (" << p * v
+        << "); ";
+  }
+  if (seq <= 0) {
+    err << "sequence length must be positive; ";
+  }
+  if (n > 1 && seq % n != 0) {
+    err << "sequence not divisible into n slices; ";
+  }
+  if (n > 1 && n % p != 0) {
+    err << "n must be a multiple of p (uniform slicing, paper 4.1.2); ";
+  }
+  if (slice_len() > 0 && slice_len() % shard.c != 0 && shard.c > 1) {
+    err << "slice length not divisible by context parallel size; ";
+  }
+  if (context_exchange && n == 1) {
+    err << "context exchange requires slicing (n > 1); ";
+  }
+  return err.str();
+}
+
+}  // namespace slim::sched

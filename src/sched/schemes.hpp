@@ -1,0 +1,39 @@
+#pragma once
+
+// Baseline pipeline schemes (paper §2.2, Table 2):
+//   GPipe            — microbatch-granular, all-forward-then-all-backward
+//   TeraPipe         — slice-granular, GPipe-style accumulation
+//   PipeDream-Flush  — the default 1F1B schedule
+//   Interleaved 1F1B — Megatron-LM's multi-chunk variant
+//   ZB-V / V-Half    — zero-bubble schedules with split backward
+//
+// Each scheme has a program generator (pure ordering) and a runner that
+// normalizes the spec's scheme-determined knobs and simulates an iteration.
+
+#include <vector>
+
+#include "src/sched/builder.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace slim::sched {
+
+std::vector<DeviceProgram> gpipe_programs(const PipelineSpec& spec);
+std::vector<DeviceProgram> terapipe_programs(const PipelineSpec& spec);
+std::vector<DeviceProgram> onef1b_programs(const PipelineSpec& spec);
+std::vector<DeviceProgram> interleaved_programs(const PipelineSpec& spec);
+
+/// ZB-V greedy constructive schedule; `memory_cap_units` bounds live
+/// stage-activation units (2p for ZB-V, p/2 + 2 for V-Half).
+std::vector<DeviceProgram> zbv_programs(const PipelineSpec& spec,
+                                        double memory_cap_units);
+
+/// Runners: normalize spec knobs for the scheme, then simulate.
+ScheduleResult run_gpipe(PipelineSpec spec, bool want_timeline = false);
+ScheduleResult run_terapipe(PipelineSpec spec, bool want_timeline = false);
+ScheduleResult run_onef1b(PipelineSpec spec, bool want_timeline = false);
+ScheduleResult run_interleaved(PipelineSpec spec, bool want_timeline = false);
+ScheduleResult run_zbv(PipelineSpec spec, bool want_timeline = false);
+ScheduleResult run_vhalf(PipelineSpec spec, bool want_timeline = false);
+ScheduleResult run_vmin(PipelineSpec spec, bool want_timeline = false);
+
+}  // namespace slim::sched

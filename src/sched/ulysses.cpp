@@ -1,0 +1,126 @@
+#include "src/sched/ulysses.hpp"
+
+#include <algorithm>
+
+#include "src/model/flops.hpp"
+#include "src/sim/topology.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/math.hpp"
+#include "src/util/units.hpp"
+
+namespace slim::sched {
+
+UlyssesResult run_ulysses(const model::TransformerConfig& cfg,
+                          const model::GpuSpec& gpu, int num_gpus,
+                          std::int64_t seq, std::int64_t tokens_per_iter,
+                          int u, model::CheckpointPolicy policy) {
+  UlyssesResult result;
+  result.ulysses_degree = u;
+  result.policy = policy;
+
+  // --- structural viability ---
+  if (u < 1 || cfg.heads % u != 0 || u > cfg.kv_heads()) {
+    result.note = "ulysses degree exceeds query groups";
+    return result;
+  }
+  if (num_gpus % u != 0) {
+    result.note = "world size not divisible by ulysses degree";
+    return result;
+  }
+  const std::int64_t dz = num_gpus / u;  // ZeRO data-parallel degree
+  if (tokens_per_iter % seq != 0) {
+    result.note = "tokens per iteration not divisible by sequence length";
+    return result;
+  }
+  const std::int64_t batch = tokens_per_iter / seq;
+  if (batch % dz != 0 || batch < dz) {
+    result.note = "global batch " + std::to_string(batch) +
+                  " too small for ZeRO data parallelism " + std::to_string(dz);
+    return result;
+  }
+  const std::int64_t seqs_per_rank = batch / dz;
+
+  const sim::Topology topo = sim::make_cluster(num_gpus);
+  // Ulysses splits the sequence c=u ways; heads regroup via all-to-all,
+  // approximated by the commutated CP communication pattern.
+  const model::Shard shard{1, u, 1, topo.gpus_per_node};
+  const model::CostModel cost(cfg, gpu, topo, shard, policy,
+                              model::CpMode::Commutated);
+
+  // --- memory ---
+  const double params = static_cast<double>(cfg.params_total());
+  // ZeRO-3: 16 bytes/param sharded over dz, plus two gathered layers of
+  // transient bf16 parameters.
+  const double state_bytes =
+      params * 16.0 / static_cast<double>(dz) +
+      2.0 * static_cast<double>(cfg.params_per_layer()) * 2.0;
+  const double act_per_token = model::act_bytes_per_token_layer(
+      cfg, shard, policy, /*retain_kv=*/false);
+  const double act_bytes = act_per_token * static_cast<double>(seq) *
+                           static_cast<double>(cfg.layers) *
+                           static_cast<double>(seqs_per_rank);
+  const double logit_bytes =
+      model::logits_bytes(cfg, shard, seq, /*vocab_shards=*/1);
+  result.peak_memory = state_bytes + act_bytes + logit_bytes;
+  if (result.peak_memory > gpu.memory_bytes - 3.0 * kGiB) {
+    result.status = UlyssesStatus::Oom;
+    result.note = "activations exceed device memory";
+    return result;
+  }
+
+  // --- time ---
+  const std::int64_t L = cfg.layers;
+  double per_seq = cost.forward_time(L, seq, 0) + cost.backward_time(L, seq, 0);
+  per_seq += cost.vocab_forward_time(seq, 1) + cost.vocab_backward_time(seq, 1);
+  // ZeRO-3 parameter all-gather per layer, forward and backward; the group
+  // spans nodes. Half the volume overlaps with compute.
+  const double layer_param_bytes =
+      static_cast<double>(cfg.params_per_layer()) * 2.0;
+  const double zero_comm =
+      0.5 * 2.0 *
+      topo.ring_collective_time(static_cast<int>(std::min<std::int64_t>(dz, 64)),
+                                layer_param_bytes, /*cross_node=*/true) *
+      static_cast<double>(L);
+  per_seq += zero_comm;
+
+  const double grad_rs = topo.ring_collective_time(
+      static_cast<int>(std::min<std::int64_t>(dz, 64)), params * 2.0, true);
+  const double optimizer = params * 18.0 / static_cast<double>(dz) /
+                               gpu.hbm_bandwidth +
+                           0.5 * grad_rs;
+
+  result.iteration_time =
+      static_cast<double>(seqs_per_rank) * per_seq + optimizer;
+  result.mfu = cost.model_flops_iteration(seq, batch) /
+               (result.iteration_time * static_cast<double>(num_gpus) *
+                gpu.peak_flops);
+  result.status = UlyssesStatus::Ok;
+  return result;
+}
+
+UlyssesResult best_ulysses(const model::TransformerConfig& cfg,
+                           const model::GpuSpec& gpu, int num_gpus,
+                           std::int64_t seq, std::int64_t tokens_per_iter) {
+  UlyssesResult best;
+  bool saw_oom = false;
+  for (int u = 1; u <= num_gpus && u <= 64; u *= 2) {
+    for (const auto policy :
+         {model::CheckpointPolicy::None, model::CheckpointPolicy::Selective,
+          model::CheckpointPolicy::Full}) {
+      const UlyssesResult r =
+          run_ulysses(cfg, gpu, num_gpus, seq, tokens_per_iter, u, policy);
+      if (r.status == UlyssesStatus::Ok &&
+          (best.status != UlyssesStatus::Ok || r.mfu > best.mfu)) {
+        best = r;
+      }
+      saw_oom = saw_oom || r.status == UlyssesStatus::Oom;
+    }
+  }
+  if (best.status != UlyssesStatus::Ok && saw_oom) {
+    best.status = UlyssesStatus::Oom;
+    best.note = "all viable configurations exceeded device memory";
+  }
+  return best;
+}
+
+}  // namespace slim::sched

@@ -1,0 +1,49 @@
+#pragma once
+
+// DeepSpeed model: ZeRO-3 (parameter/gradient/optimizer sharding over data
+// parallelism) combined with Ulysses sequence parallelism (all-to-all head
+// exchange around attention). No pipeline parallelism.
+//
+// The paper's reported failure modes are reproduced structurally:
+//  * Ulysses degree is bounded by the number of query groups (8 for the GQA
+//    models), so it cannot absorb more GPUs;
+//  * the global batch (tokens / seq) must cover the ZeRO data-parallel
+//    degree, which fails for long contexts on large clusters
+//    ("no viable configuration" in Figure 12).
+
+#include <cstdint>
+#include <string>
+
+#include "src/model/activation.hpp"
+#include "src/model/hardware.hpp"
+#include "src/model/transformer.hpp"
+
+namespace slim::sched {
+
+enum class UlyssesStatus : std::uint8_t { Ok, NoViableConfig, Oom };
+
+struct UlyssesResult {
+  UlyssesStatus status = UlyssesStatus::NoViableConfig;
+  int ulysses_degree = 0;
+  model::CheckpointPolicy policy = model::CheckpointPolicy::None;
+  double iteration_time = 0.0;
+  double mfu = 0.0;
+  double peak_memory = 0.0;
+  std::string note;
+};
+
+/// Evaluates one (u, policy) point.
+UlyssesResult run_ulysses(const model::TransformerConfig& cfg,
+                          const model::GpuSpec& gpu, int num_gpus,
+                          std::int64_t seq, std::int64_t tokens_per_iter,
+                          int ulysses_degree,
+                          model::CheckpointPolicy policy);
+
+/// Grid-searches u in powers of two and all checkpoint policies; returns the
+/// best feasible configuration (highest MFU), or the most informative
+/// failure status.
+UlyssesResult best_ulysses(const model::TransformerConfig& cfg,
+                           const model::GpuSpec& gpu, int num_gpus,
+                           std::int64_t seq, std::int64_t tokens_per_iter);
+
+}  // namespace slim::sched

@@ -1,0 +1,116 @@
+#include "src/sim/executor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/logging.hpp"
+
+namespace slim::sim {
+
+double ExecResult::bubble_fraction(int device) const {
+  if (makespan <= 0.0) return 0.0;
+  SLIM_CHECK(device >= 0 &&
+                 static_cast<std::size_t>(device) < compute_busy.size(),
+             "device out of range in bubble_fraction");
+  const double busy = compute_busy[static_cast<std::size_t>(device)];
+  return std::max(0.0, 1.0 - busy / makespan);
+}
+
+double ExecResult::mean_bubble_fraction(int num_devices) const {
+  if (num_devices <= 0) return 0.0;
+  double total = 0.0;
+  for (int d = 0; d < num_devices; ++d) total += bubble_fraction(d);
+  return total / num_devices;
+}
+
+ExecResult execute(const OpGraph& graph) {
+  const std::vector<Op>& ops = graph.ops();
+  const std::size_t n = ops.size();
+
+  // in-degree = explicit deps + (1 if the op has a predecessor on its
+  // resource). Dependents collected for Kahn's algorithm.
+  std::vector<std::int32_t> indeg(n, 0);
+  std::vector<std::vector<OpId>> dependents(n);
+  for (const Op& op : ops) {
+    for (OpId dep : op.deps) {
+      SLIM_CHECK(dep >= 0 && static_cast<std::size_t>(dep) < n,
+                 "dependency op id out of range");
+      dependents[static_cast<std::size_t>(dep)].push_back(op.id);
+      ++indeg[static_cast<std::size_t>(op.id)];
+    }
+  }
+  for (const auto& program : graph.programs()) {
+    for (std::size_t i = 1; i < program.size(); ++i) {
+      dependents[static_cast<std::size_t>(program[i - 1])].push_back(
+          program[i]);
+      ++indeg[static_cast<std::size_t>(program[i])];
+    }
+  }
+
+  ExecResult result;
+  result.timings.assign(n, OpTiming{});
+  std::vector<double> resource_free(graph.num_resources(), 0.0);
+
+  std::vector<OpId> ready;
+  ready.reserve(n);
+  for (const Op& op : ops) {
+    if (indeg[static_cast<std::size_t>(op.id)] == 0) ready.push_back(op.id);
+  }
+
+  std::size_t processed = 0;
+  // Kahn's algorithm. Start times are fully determined by deps + resource
+  // availability, so processing order within the ready set does not matter.
+  while (!ready.empty()) {
+    const OpId id = ready.back();
+    ready.pop_back();
+    const Op& op = graph.op(id);
+
+    double start = resource_free[static_cast<std::size_t>(op.resource)];
+    for (OpId dep : op.deps) {
+      start = std::max(start, result.timings[static_cast<std::size_t>(dep)].end);
+    }
+    // Program-order predecessor is covered by resource_free because ops on a
+    // resource are processed in program order (the implicit edge guarantees
+    // the predecessor was finalized first).
+    OpTiming& t = result.timings[static_cast<std::size_t>(id)];
+    t.start = start;
+    t.end = start + op.duration;
+    resource_free[static_cast<std::size_t>(op.resource)] = t.end;
+    result.makespan = std::max(result.makespan, t.end);
+    ++processed;
+
+    for (OpId next : dependents[static_cast<std::size_t>(id)]) {
+      if (--indeg[static_cast<std::size_t>(next)] == 0) ready.push_back(next);
+    }
+  }
+
+  if (processed != n) {
+    std::ostringstream msg;
+    msg << "schedule deadlock: " << (n - processed)
+        << " ops unreachable; first blocked ops:";
+    int shown = 0;
+    for (const Op& op : ops) {
+      if (indeg[static_cast<std::size_t>(op.id)] > 0 && shown < 5) {
+        msg << " [op " << op.id << " dev " << op.device << " mb "
+            << op.microbatch << " slice " << op.slice << " stage " << op.stage
+            << "]";
+        ++shown;
+      }
+    }
+    throw std::logic_error(msg.str());
+  }
+
+  // Per-device compute busy time.
+  int max_device = -1;
+  for (const Op& op : ops) max_device = std::max(max_device, op.device);
+  result.compute_busy.assign(static_cast<std::size_t>(max_device + 1), 0.0);
+  for (const Op& op : ops) {
+    if (is_compute_class(op.cls)) {
+      result.compute_busy[static_cast<std::size_t>(op.device)] += op.duration;
+    }
+  }
+  return result;
+}
+
+}  // namespace slim::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+// Deterministic list-scheduling executor for an OpGraph.
+//
+// Semantics: each resource runs its ops strictly in program order; an op
+// starts at max(resource available time, completion of all explicit deps).
+// Combined with the explicit dependency edges this forms a DAG (program order
+// contributes implicit edges), which is resolved in topological order.
+// A cycle — a schedule whose per-device programs are mutually inconsistent —
+// is a deadlock and is reported with the blocked ops.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/graph.hpp"
+
+namespace slim::sim {
+
+struct OpTiming {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct ExecResult {
+  std::vector<OpTiming> timings;  // indexed by OpId
+  double makespan = 0.0;          // end of the last op
+
+  /// Busy time of each device's *compute* stream (indexed by device id).
+  std::vector<double> compute_busy;
+
+  /// Bubble fraction of one device: idle compute time within [0, makespan].
+  double bubble_fraction(int device) const;
+
+  /// Mean bubble fraction over devices [0, n).
+  double mean_bubble_fraction(int num_devices) const;
+};
+
+/// Executes the graph. Throws std::logic_error on deadlock (inconsistent
+/// per-resource program orders).
+ExecResult execute(const OpGraph& graph);
+
+}  // namespace slim::sim

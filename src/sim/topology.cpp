@@ -1,0 +1,42 @@
+#include "src/sim/topology.hpp"
+
+#include "src/util/math.hpp"
+
+namespace slim::sim {
+
+double Topology::ring_collective_time(int group, double bytes,
+                                      bool cross_node) const {
+  if (group <= 1) return 0.0;
+  const double bw = cross_node ? nic_bandwidth : nvlink_bandwidth;
+  const double lat = cross_node ? nic_latency : nvlink_latency;
+  // Ring algorithm: (g-1) steps, each moving bytes/g per device.
+  const double steps = static_cast<double>(group - 1);
+  return steps * (lat + bytes / static_cast<double>(group) / bw);
+}
+
+double Topology::all_to_all_time(int group, double bytes,
+                                 bool cross_node) const {
+  if (group <= 1) return 0.0;
+  const double bw = cross_node ? nic_bandwidth : nvlink_bandwidth;
+  const double lat = cross_node ? nic_latency : nvlink_latency;
+  // Each device sends bytes*(g-1)/g of its payload, pairwise in parallel.
+  const double moved =
+      bytes * static_cast<double>(group - 1) / static_cast<double>(group);
+  return lat * static_cast<double>(group - 1) + moved / bw;
+}
+
+Topology make_cluster(int num_gpus) {
+  SLIM_CHECK(num_gpus > 0, "cluster needs at least one GPU");
+  Topology topo;
+  if (num_gpus <= 8) {
+    topo.num_nodes = 1;
+    topo.gpus_per_node = num_gpus;
+  } else {
+    SLIM_CHECK(num_gpus % 8 == 0, "multi-node clusters must use full nodes");
+    topo.num_nodes = num_gpus / 8;
+    topo.gpus_per_node = 8;
+  }
+  return topo;
+}
+
+}  // namespace slim::sim

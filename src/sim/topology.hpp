@@ -1,0 +1,62 @@
+#pragma once
+
+// Cluster topology: nodes of GPUs joined by NVLink inside a node and by
+// per-GPU NICs across nodes. Mirrors the paper's testbed: 8 Hopper GPUs per
+// node, 400 GB/s NVLink per GPU, 400 Gbps NIC per GPU.
+
+#include <cstdint>
+
+#include "src/util/logging.hpp"
+
+namespace slim::sim {
+
+struct Topology {
+  int num_nodes = 1;
+  int gpus_per_node = 8;
+
+  /// Intra-node (NVLink) point-to-point bandwidth in bytes/second.
+  double nvlink_bandwidth = 400e9;
+  /// Inter-node (NIC) point-to-point bandwidth in bytes/second (400 Gbps).
+  double nic_bandwidth = 50e9;
+
+  /// Per-message launch latencies in seconds.
+  double nvlink_latency = 3e-6;
+  double nic_latency = 10e-6;
+
+  int world_size() const { return num_nodes * gpus_per_node; }
+
+  int node_of(int device) const {
+    SLIM_CHECK(device >= 0 && device < world_size(), "device out of range");
+    return device / gpus_per_node;
+  }
+
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  double bandwidth(int src, int dst) const {
+    return same_node(src, dst) ? nvlink_bandwidth : nic_bandwidth;
+  }
+
+  double latency(int src, int dst) const {
+    return same_node(src, dst) ? nvlink_latency : nic_latency;
+  }
+
+  /// Transfer time for a point-to-point message of `bytes`.
+  double p2p_time(int src, int dst, double bytes) const {
+    if (src == dst) return 0.0;
+    return latency(src, dst) + bytes / bandwidth(src, dst);
+  }
+
+  /// Time for a ring all-gather/reduce-scatter of `bytes` total payload over
+  /// `group` devices with the given per-link bandwidth class.
+  /// `cross_node` selects the NIC if the group spans nodes.
+  double ring_collective_time(int group, double bytes, bool cross_node) const;
+
+  /// All-to-all time over `group` devices where each device exchanges
+  /// `bytes` with every peer (total per-device payload = bytes * (g-1)/g).
+  double all_to_all_time(int group, double bytes, bool cross_node) const;
+};
+
+/// Convenience constructor for an N-GPU cluster with 8 GPUs per node.
+Topology make_cluster(int num_gpus);
+
+}  // namespace slim::sim

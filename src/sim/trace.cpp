@@ -1,0 +1,104 @@
+#include "src/sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "src/util/units.hpp"
+
+namespace slim::sim {
+
+namespace {
+
+char class_char(OpClass cls) {
+  switch (cls) {
+    case OpClass::Forward: return 'F';
+    case OpClass::Backward: return 'B';
+    case OpClass::BackwardInput: return 'I';
+    case OpClass::BackwardWeight: return 'W';
+    case OpClass::Recompute: return 'R';
+    case OpClass::VocabForward: return 'V';
+    case OpClass::VocabBackward: return 'v';
+    case OpClass::Optimizer: return 'O';
+    default: return '-';
+  }
+}
+
+const char* class_name(OpClass cls) {
+  switch (cls) {
+    case OpClass::Forward: return "forward";
+    case OpClass::Backward: return "backward";
+    case OpClass::BackwardInput: return "backward_input";
+    case OpClass::BackwardWeight: return "backward_weight";
+    case OpClass::Recompute: return "recompute";
+    case OpClass::VocabForward: return "vocab_forward";
+    case OpClass::VocabBackward: return "vocab_backward";
+    case OpClass::Optimizer: return "optimizer";
+    case OpClass::Send: return "send";
+    case OpClass::ExchangeSend: return "exchange_send";
+    case OpClass::Collective: return "collective";
+    case OpClass::Other: return "other";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string ascii_timeline(const OpGraph& graph, const ExecResult& result,
+                           const AsciiTraceOptions& options) {
+  int num_devices = options.num_devices;
+  if (num_devices == 0) {
+    for (const Op& op : graph.ops()) {
+      num_devices = std::max(num_devices, op.device + 1);
+    }
+  }
+  const double makespan = std::max(result.makespan, 1e-12);
+  const int width = std::max(options.width, 10);
+  std::vector<std::string> rows(static_cast<std::size_t>(num_devices),
+                                std::string(static_cast<std::size_t>(width),
+                                            '.'));
+
+  for (const Op& op : graph.ops()) {
+    if (!is_compute_class(op.cls) || op.device >= num_devices) continue;
+    const OpTiming& t = result.timings[static_cast<std::size_t>(op.id)];
+    int lo = static_cast<int>(std::floor(t.start / makespan * width));
+    int hi = static_cast<int>(std::ceil(t.end / makespan * width));
+    lo = std::clamp(lo, 0, width - 1);
+    hi = std::clamp(hi, lo + 1, width);
+    for (int x = lo; x < hi; ++x) {
+      rows[static_cast<std::size_t>(op.device)][static_cast<std::size_t>(x)] =
+          class_char(op.cls);
+    }
+  }
+
+  std::ostringstream out;
+  for (int d = 0; d < num_devices; ++d) {
+    out << "dev " << d << " |" << rows[static_cast<std::size_t>(d)] << "|\n";
+  }
+  if (options.show_legend) {
+    out << "        F=fwd B=bwd I=bwd-input W=bwd-weight R=recompute "
+           "V/v=vocab O=optim .=bubble   makespan="
+        << format_time(result.makespan) << "\n";
+  }
+  return out.str();
+}
+
+std::string chrome_trace_json(const OpGraph& graph, const ExecResult& result) {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const Op& op : graph.ops()) {
+    const OpTiming& t = result.timings[static_cast<std::size_t>(op.id)];
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << class_name(op.cls) << " mb" << op.microbatch
+        << " s" << op.slice << " st" << op.stage << "\",\"ph\":\"X\",\"ts\":"
+        << t.start * 1e6 << ",\"dur\":" << (t.end - t.start) * 1e6
+        << ",\"pid\":0,\"tid\":" << op.device << "}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+}  // namespace slim::sim

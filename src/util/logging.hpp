@@ -1,0 +1,61 @@
+#pragma once
+
+// Minimal thread-safe logging for the SlimPipe library.
+//
+// Usage:
+//   SLIM_LOG(Info) << "built schedule with " << n << " ops";
+//
+// The log level is process-global and can be raised to silence output in
+// benchmarks (set_log_level(LogLevel::Warn)).
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace slim {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the minimum severity that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace slim
+
+#define SLIM_LOG(severity) \
+  ::slim::detail::LogLine(::slim::LogLevel::severity, __FILE__, __LINE__)
+
+/// Fatal-on-violation check used for internal invariants (always enabled).
+#define SLIM_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::slim::detail::check_failed(#cond, msg, __FILE__, __LINE__);        \
+    }                                                                      \
+  } while (false)
+
+namespace slim::detail {
+[[noreturn]] void check_failed(const char* cond, const std::string& msg,
+                               const char* file, int line);
+}  // namespace slim::detail

@@ -1,0 +1,49 @@
+#pragma once
+
+// Small integer/math helpers shared across the library.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/logging.hpp"
+
+namespace slim {
+
+/// Ceiling division for non-negative integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Rounds `a` up to the next multiple of `b` (b > 0).
+constexpr std::int64_t round_up(std::int64_t a, std::int64_t b) {
+  return ceil_div(a, b) * b;
+}
+
+constexpr bool divides(std::int64_t a, std::int64_t b) {
+  return a != 0 && b % a == 0;
+}
+
+constexpr bool is_power_of_two(std::int64_t x) {
+  return x > 0 && (x & (x - 1)) == 0;
+}
+
+/// All divisors of n in increasing order.
+inline std::vector<std::int64_t> divisors(std::int64_t n) {
+  SLIM_CHECK(n > 0, "divisors of non-positive value");
+  std::vector<std::int64_t> lo, hi;
+  for (std::int64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      lo.push_back(d);
+      if (d != n / d) hi.push_back(n / d);
+    }
+  }
+  for (auto it = hi.rbegin(); it != hi.rend(); ++it) lo.push_back(*it);
+  return lo;
+}
+
+/// Sum of the arithmetic series a, a+1, ..., b (inclusive); 0 if b < a.
+constexpr std::int64_t arith_sum(std::int64_t a, std::int64_t b) {
+  return (b < a) ? 0 : (a + b) * (b - a + 1) / 2;
+}
+
+}  // namespace slim

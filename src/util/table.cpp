@@ -1,0 +1,89 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/logging.hpp"
+
+namespace slim {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SLIM_CHECK(cells.size() == header_.size(),
+             "row width does not match header");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  auto emit_line = [&](std::ostringstream& out,
+                       const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out << " " << cells[i]
+          << std::string(widths[i] - cells[i].size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  auto emit_rule = [&](std::ostringstream& out) {
+    out << "+";
+    for (std::size_t width : widths) out << std::string(width + 2, '-') << "+";
+    out << "\n";
+  };
+
+  std::ostringstream out;
+  emit_rule(out);
+  emit_line(out, header_);
+  emit_rule(out);
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      emit_rule(out);
+    } else {
+      emit_line(out, row.cells);
+    }
+  }
+  emit_rule(out);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) out << ",";
+      out << cells[i];
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const Row& row : rows_) {
+    if (!row.separator) emit(row.cells);
+  }
+  return out.str();
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt(std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+}  // namespace slim

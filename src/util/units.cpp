@@ -1,0 +1,53 @@
+#include "src/util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace slim {
+
+std::string format_bytes(double bytes) {
+  char buf[64];
+  const double abs = std::fabs(bytes);
+  if (abs >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", bytes / kGiB);
+  } else if (abs >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", bytes / kMiB);
+  } else if (abs >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", bytes / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+std::string format_time(double seconds) {
+  char buf[64];
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (abs >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+std::string format_context(std::int64_t tokens) {
+  char buf[64];
+  if (tokens % kTokensK == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldK",
+                  static_cast<long long>(tokens / kTokensK));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(tokens));
+  }
+  return buf;
+}
+
+std::string format_percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace slim

@@ -1,0 +1,37 @@
+#pragma once
+
+// Unit helpers: byte sizes, time durations and human-readable formatting.
+//
+// All simulator times are in seconds (double). All memory quantities are in
+// bytes (int64_t / double when fractional bookkeeping is needed).
+
+#include <cstdint>
+#include <string>
+
+namespace slim {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/// 1K tokens in the "context length" sense used by the paper (131072 = 128K).
+inline constexpr std::int64_t kTokensK = 1024;
+
+/// Formats a byte count as e.g. "12.34 GiB".
+std::string format_bytes(double bytes);
+
+/// Formats a duration in seconds as e.g. "1.23 ms" / "4.56 s".
+std::string format_time(double seconds);
+
+/// Formats a context length as e.g. "256K" / "2048K".
+std::string format_context(std::int64_t tokens);
+
+/// Formats a ratio as a percentage with one decimal, e.g. "45.3%".
+std::string format_percent(double fraction);
+
+}  // namespace slim

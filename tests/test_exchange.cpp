@@ -1,0 +1,161 @@
+// Tests for the attention context-exchange planner (paper §4.2): cohort
+// balancing, partner symmetry, juncture behaviour and Eq. 2's volume bound.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/context_exchange.hpp"
+#include "src/core/slice.hpp"
+#include "src/model/transformer.hpp"
+
+namespace slim::core {
+namespace {
+
+sched::PipelineSpec make_spec(int p, int n, int m,
+                              std::int64_t seq = 64 * 1024) {
+  sched::PipelineSpec spec;
+  spec.cfg = model::llama13b();
+  spec.gpu = model::hopper80();
+  spec.shard = {8, 1, 1, 8};
+  spec.policy = model::CheckpointPolicy::None;
+  spec.p = p;
+  spec.v = 1;
+  spec.m = m;
+  spec.n = n;
+  spec.seq = seq;
+  spec.retain_kv = true;
+  return spec;
+}
+
+struct ExchangeCase {
+  int p;
+  int n;
+  int m;
+};
+
+class PlannerTest : public ::testing::TestWithParam<ExchangeCase> {};
+
+// In any steady-state cohort, paired devices end with the pair's mean load;
+// across the cohort the post-exchange spread is at most one slice of KV
+// (paper §4.2.2).
+TEST_P(PlannerTest, BalancesWithinOneSlice) {
+  const ExchangeCase c = GetParam();
+  const auto spec = make_spec(c.p, c.n, c.m);
+  const ExchangePlanner planner(spec);
+  const double slice_tokens = static_cast<double>(spec.slice_len());
+  const std::int64_t total = static_cast<std::int64_t>(c.n) * c.m;
+
+  for (std::int64_t tick = c.p; tick < total; ++tick) {
+    double lo = 1e30, hi = -1e30;
+    for (int dev = 0; dev < c.p; ++dev) {
+      const std::int64_t stream = tick - dev;
+      if (stream < 0 || stream >= total) continue;
+      const double load = planner.balanced_kv_load(dev, stream, true);
+      lo = std::min(lo, load);
+      hi = std::max(hi, load);
+    }
+    EXPECT_LE(hi - lo, slice_tokens + 1.0)
+        << "tick " << tick << " spread too large";
+  }
+}
+
+// If device a sheds KV to device b, then b's plan contains the mirrored
+// exchange (a sends Q+KV and receives O; b the reverse).
+TEST_P(PlannerTest, PartnerSymmetry) {
+  const ExchangeCase c = GetParam();
+  if (c.p < 2) return;
+  const auto spec = make_spec(c.p, c.n, c.m);
+  const ExchangePlanner planner(spec);
+  const std::int64_t total = static_cast<std::int64_t>(c.n) * c.m;
+  for (std::int64_t tick = 0; tick < total + c.p; ++tick) {
+    for (int dev = 0; dev < c.p; ++dev) {
+      const std::int64_t stream = tick - dev;
+      if (stream < 0 || stream >= total) continue;
+      const auto plan = planner.plan(dev, stream, true);
+      for (const auto& ex : plan.exchanges) {
+        const std::int64_t partner_stream = tick - ex.partner;
+        ASSERT_GE(partner_stream, 0);
+        ASSERT_LT(partner_stream, total);
+        const auto mirror = planner.plan(ex.partner, partner_stream, true);
+        bool found = false;
+        for (const auto& mex : mirror.exchanges) {
+          if (mex.partner != dev) continue;
+          found = true;
+          EXPECT_NEAR(mex.send_bytes, ex.recv_bytes, 1.0);
+          EXPECT_NEAR(mex.recv_bytes, ex.send_bytes, 1.0);
+        }
+        EXPECT_TRUE(found) << "no mirrored exchange for dev " << dev
+                           << " at tick " << tick;
+      }
+    }
+  }
+}
+
+TEST_P(PlannerTest, WarmupCohortsDegradeGracefully) {
+  const ExchangeCase c = GetParam();
+  const auto spec = make_spec(c.p, c.n, c.m);
+  const ExchangePlanner planner(spec);
+  // Stream 0 on device 0 runs alone (tick 0): no partner, own load.
+  const auto plan = planner.plan(0, 0, true);
+  EXPECT_TRUE(plan.exchanges.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PlannerTest,
+                         ::testing::Values(ExchangeCase{2, 4, 2},
+                                           ExchangeCase{4, 8, 2},
+                                           ExchangeCase{4, 16, 3},
+                                           ExchangeCase{8, 16, 2},
+                                           ExchangeCase{8, 32, 2},
+                                           ExchangeCase{3, 9, 2}));
+
+TEST(PlannerEq2Test, ForwardVolumeWithinBound) {
+  // Eq. 2: exchanged context per microbatch per device is bounded by
+  // (2 - (p-1)/n) L M_h — our per-device send volume must respect it.
+  for (const ExchangeCase c :
+       {ExchangeCase{4, 8, 3}, ExchangeCase{4, 16, 3}, ExchangeCase{8, 16, 3},
+        ExchangeCase{8, 32, 3}, ExchangeCase{2, 8, 3}}) {
+    const auto spec = make_spec(c.p, c.n, c.m);
+    const ExchangePlanner planner(spec);
+    const double m_h = model::embedding_bytes(spec.cfg, spec.shard, spec.seq);
+    const double kv_ratio = static_cast<double>(spec.cfg.kv_hidden()) /
+                            static_cast<double>(spec.cfg.hidden);
+    const double bound = exchange_volume_bound(
+        c.p, c.n, spec.cfg.layers, m_h, kv_ratio);
+    for (int dev = 0; dev < c.p; ++dev) {
+      const double volume = planner.forward_volume_per_microbatch(dev);
+      EXPECT_LE(volume, bound * 1.05)
+          << "p=" << c.p << " n=" << c.n << " dev=" << dev;
+    }
+    // And the bound itself obeys the closed-form cap 2 L M_h.
+    EXPECT_LE(bound,
+              (2.0 - static_cast<double>(c.p - 1) / c.n) *
+                      static_cast<double>(spec.cfg.layers) * m_h / c.p *
+                      static_cast<double>(c.p) +
+                  1.0);
+  }
+}
+
+TEST(PlannerLoadTest, ForwardLoadIsArithmetic) {
+  const auto spec = make_spec(4, 8, 2);
+  const ExchangePlanner planner(spec);
+  const double len = static_cast<double>(spec.slice_len());
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_NEAR(planner.forward_load(s), s * len + (len + 1.0) / 2.0, 1e-6);
+  }
+  // Microbatch juncture: stream n has slice 0's load again.
+  EXPECT_NEAR(planner.forward_load(8), planner.forward_load(0), 1e-9);
+}
+
+TEST(PlannerBackwardTest, BackwardStreamsReverseSlices) {
+  const auto spec = make_spec(4, 8, 2);
+  const ExchangePlanner planner(spec);
+  // Backward stream 0 is slice n-1 (heaviest); the planner must therefore
+  // balance it downward in a full cohort.
+  const auto early = planner.plan(3, 3, /*forward=*/false);
+  const auto solo = planner.plan(3, 0, /*forward=*/false);
+  EXPECT_LT(early.attn_time, solo.attn_time + 1e-12);
+}
+
+}  // namespace
+}  // namespace slim::core

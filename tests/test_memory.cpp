@@ -1,0 +1,162 @@
+// Unit tests for the memory substrate: timeline replay, the chunked KV pool
+// (paper §5) and the offload model.
+
+#include <gtest/gtest.h>
+
+#include "src/memory/kv_pool.hpp"
+#include "src/memory/offload.hpp"
+#include "src/memory/tracker.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/graph.hpp"
+
+namespace slim::mem {
+namespace {
+
+TEST(TrackerTest, PeakTracksAllocFreePairs) {
+  sim::OpGraph g(sim::make_cluster(1));
+  const auto a = g.add_compute(0, 1.0, sim::OpClass::Forward, {});
+  g.add_mem(a, {0, kActivation, 100.0, false});
+  const auto b = g.add_compute(0, 1.0, sim::OpClass::Forward, {});
+  g.add_mem(b, {0, kActivation, 100.0, false});
+  const auto c = g.add_compute(0, 1.0, sim::OpClass::Backward, {});
+  g.add_mem(c, {0, kActivation, -200.0, true});
+  const auto r = sim::execute(g);
+  const MemoryReport report = replay_memory(g, r, 1);
+  EXPECT_DOUBLE_EQ(report.devices[0].peak, 200.0);
+  EXPECT_DOUBLE_EQ(report.devices[0].end, 0.0);
+}
+
+TEST(TrackerTest, FreesApplyBeforeAllocsAtSameTime) {
+  sim::OpGraph g(sim::make_cluster(1));
+  // Two back-to-back ops: first frees 100 at end, second allocates 100 at
+  // start — same timestamp. A caching allocator reuses the block, so the
+  // peak must stay at 100.
+  const auto a = g.add_compute(0, 1.0, sim::OpClass::Forward, {});
+  g.add_mem(a, {0, kKvCache, 100.0, false});
+  g.add_mem(a, {0, kKvCache, -100.0, true});
+  const auto b = g.add_compute(0, 1.0, sim::OpClass::Forward, {});
+  g.add_mem(b, {0, kKvCache, 100.0, false});
+  const auto r = sim::execute(g);
+  const MemoryReport report = replay_memory(g, r, 1);
+  (void)b;
+  EXPECT_DOUBLE_EQ(report.devices[0].peak, 100.0);
+}
+
+TEST(TrackerTest, BaselineCountsTowardPeak) {
+  sim::OpGraph g(sim::make_cluster(2));
+  const auto a = g.add_compute(0, 1.0, sim::OpClass::Forward, {});
+  g.add_mem(a, {0, kActivation, 50.0, false});
+  const auto r = sim::execute(g);
+  const MemoryReport report =
+      replay_memory(g, r, 2, {{0, kParams, 100.0}, {1, kParams, 30.0}});
+  EXPECT_DOUBLE_EQ(report.devices[0].peak, 150.0);
+  EXPECT_DOUBLE_EQ(report.devices[1].peak, 30.0);
+  EXPECT_EQ(report.argmax_device(), 0);
+  EXPECT_DOUBLE_EQ(report.max_peak(), 150.0);
+}
+
+TEST(TrackerTest, CategoryBreakdownAtPeak) {
+  sim::OpGraph g(sim::make_cluster(1));
+  const auto a = g.add_compute(0, 1.0, sim::OpClass::Forward, {});
+  g.add_mem(a, {0, kActivation, 70.0, false});
+  g.add_mem(a, {0, kKvCache, 30.0, false});
+  const auto r = sim::execute(g);
+  const MemoryReport report = replay_memory(g, r, 1);
+  EXPECT_DOUBLE_EQ(report.devices[0].at_peak[kActivation], 70.0);
+  EXPECT_DOUBLE_EQ(report.devices[0].at_peak[kKvCache], 30.0);
+  EXPECT_NE(report.summary().find("activation"), std::string::npos);
+}
+
+TEST(KvPoolTest, ReusesFreedChunks) {
+  ChunkedKvPool pool(1024.0);
+  const int a = pool.acquire();
+  const int b = pool.acquire();
+  EXPECT_EQ(pool.live_chunks(), 2);
+  pool.release(b);
+  const int c = pool.acquire();
+  EXPECT_EQ(c, b);  // LIFO reuse
+  (void)a;
+  EXPECT_EQ(pool.allocated_chunks(), 2);
+  EXPECT_DOUBLE_EQ(pool.wasted_bytes(), 0.0);
+}
+
+TEST(KvPoolTest, SlimPipeSteadyStatePatternHasZeroWaste) {
+  // Adjacent microbatches: each backward releases one chunk, the next
+  // forward acquires one (paper §5 "Chunked KV Cache").
+  ChunkedKvPool pool(4096.0);
+  std::vector<int> live;
+  const int n = 16;
+  for (int i = 0; i < n; ++i) live.push_back(pool.acquire());
+  for (int mb = 0; mb < 4; ++mb) {
+    for (int i = 0; i < n; ++i) {
+      pool.release(live.back());
+      live.pop_back();
+      live.push_back(pool.acquire());
+    }
+  }
+  // Uniform chunks are perfectly reused: the pool never grows past the
+  // warm-up allocation and wastes nothing.
+  EXPECT_EQ(pool.allocated_chunks(), n);
+  EXPECT_EQ(pool.peak_live(), n);
+  EXPECT_DOUBLE_EQ(pool.wasted_bytes(), 0.0);
+}
+
+TEST(KvPoolTest, DoubleReleaseCaught) {
+  ChunkedKvPool pool(1.0);
+  const int a = pool.acquire();
+  pool.release(a);
+  EXPECT_THROW(pool.release(a), std::logic_error);
+  EXPECT_THROW(pool.release(99), std::logic_error);
+}
+
+TEST(ContiguousKvTest, GrowthFragments) {
+  // A growing contiguous buffer with a non-coalescing allocator strands
+  // freed blocks; the chunked pool does not (the paper's motivation).
+  ContiguousKvModel contiguous(1024.0);
+  for (int mb = 0; mb < 3; ++mb) {
+    for (int i = 0; i < 8; ++i) contiguous.grow();
+    for (int i = 0; i < 8; ++i) contiguous.shrink();
+    contiguous.reset();
+  }
+  EXPECT_GT(contiguous.fragmentation_bytes(), 0.0);
+
+  ChunkedKvPool pool(1024.0);
+  for (int mb = 0; mb < 3; ++mb) {
+    std::vector<int> chunks;
+    for (int i = 0; i < 8; ++i) chunks.push_back(pool.acquire());
+    for (int i = 7; i >= 0; --i) pool.release(chunks[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_DOUBLE_EQ(pool.wasted_bytes(), 0.0);
+}
+
+TEST(ContiguousKvTest, TransientDoubleBuffer) {
+  ContiguousKvModel model(100.0);
+  model.grow();  // alloc 100
+  model.grow();  // alloc 200 while 100 still held -> peak reserved >= 300
+  EXPECT_GE(model.peak_reserved_bytes(), 300.0);
+  EXPECT_DOUBLE_EQ(model.current_bytes(), 200.0);
+}
+
+TEST(OffloadTest, Disabled) {
+  OffloadModel off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_DOUBLE_EQ(off.resident_bytes(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(off.exposed_time(1e9, 0.0), 0.0);
+}
+
+TEST(OffloadTest, ResidentAndHostSplit) {
+  OffloadModel off{0.75, 55e9};
+  EXPECT_DOUBLE_EQ(off.resident_bytes(100.0), 25.0);
+  EXPECT_DOUBLE_EQ(off.host_bytes(100.0), 75.0);
+}
+
+TEST(OffloadTest, ExposureOnlyBeyondComputeWindow) {
+  OffloadModel off{1.0, 100e9};  // 100 GB/s
+  // 1 GB to move = 10 ms; window 20 ms hides it fully.
+  EXPECT_DOUBLE_EQ(off.exposed_time(1e9, 0.020), 0.0);
+  // Window 4 ms exposes 6 ms.
+  EXPECT_NEAR(off.exposed_time(1e9, 0.004), 0.006, 1e-9);
+}
+
+}  // namespace
+}  // namespace slim::mem

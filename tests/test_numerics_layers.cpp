@@ -1,0 +1,200 @@
+// Finite-difference gradient checks for RMSNorm, SwiGLU and RoPE, plus the
+// memory-thrifty recompute identities the paper's §5 relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/numerics/norm_act.hpp"
+#include "src/numerics/rope.hpp"
+#include "src/util/rng.hpp"
+
+namespace slim::num {
+namespace {
+
+double dot(const Tensor& a, const Tensor& b) {
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    sum += static_cast<double>(a.data()[i]) * b.data()[i];
+  }
+  return sum;
+}
+
+TEST(RmsNormTest, NormalizesRows) {
+  Rng rng(1);
+  const Tensor x = Tensor::randn(4, 16, rng, 2.0f);
+  Tensor w(1, 16);
+  w.fill(1.0f);
+  const Tensor y = rmsnorm(x, w);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    double ms = 0.0;
+    for (std::int64_t c = 0; c < 16; ++c) {
+      ms += static_cast<double>(y.at(r, c)) * y.at(r, c);
+    }
+    EXPECT_NEAR(ms / 16.0, 1.0, 1e-3);
+  }
+}
+
+TEST(RmsNormTest, WeightScales) {
+  Rng rng(2);
+  const Tensor x = Tensor::randn(2, 8, rng, 1.0f);
+  Tensor w1(1, 8), w2(1, 8);
+  w1.fill(1.0f);
+  w2.fill(2.0f);
+  const Tensor y1 = rmsnorm(x, w1);
+  const Tensor y2 = rmsnorm(x, w2);
+  for (std::int64_t i = 0; i < y1.size(); ++i) {
+    EXPECT_NEAR(y2.data()[i], 2.0f * y1.data()[i], 1e-6f);
+  }
+}
+
+TEST(RmsNormTest, GradCheck) {
+  Rng rng(3);
+  Tensor x = Tensor::randn(3, 8, rng, 1.0f);
+  Tensor w = Tensor::randn(1, 8, rng, 0.5f);
+  for (std::int64_t i = 0; i < w.size(); ++i) w.data()[i] += 1.0f;
+  const Tensor dy = Tensor::randn(3, 8, rng, 1.0f);
+
+  Tensor dw(1, 8);
+  const Tensor dx = rmsnorm_bwd(x, w, dy, dw);
+
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < x.size(); i += 2) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    const double hi = dot(rmsnorm(x, w), dy);
+    x.data()[i] = orig - eps;
+    const double lo = dot(rmsnorm(x, w), dy);
+    x.data()[i] = orig;
+    EXPECT_NEAR((hi - lo) / (2.0 * eps), dx.data()[i], 5e-3);
+  }
+  for (std::int64_t i = 0; i < w.size(); ++i) {
+    const float orig = w.data()[i];
+    w.data()[i] = orig + eps;
+    const double hi = dot(rmsnorm(x, w), dy);
+    w.data()[i] = orig - eps;
+    const double lo = dot(rmsnorm(x, w), dy);
+    w.data()[i] = orig;
+    EXPECT_NEAR((hi - lo) / (2.0 * eps), dw.data()[i], 5e-3);
+  }
+}
+
+TEST(SwigluTest, MatchesDefinition) {
+  Rng rng(4);
+  const Tensor g = Tensor::randn(2, 6, rng, 1.5f);
+  const Tensor u = Tensor::randn(2, 6, rng, 1.5f);
+  const Tensor out = swiglu(g, u);
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    const float gi = g.data()[i];
+    const float expected = gi / (1.0f + std::exp(-gi)) * u.data()[i];
+    EXPECT_NEAR(out.data()[i], expected, 1e-6f);
+  }
+}
+
+TEST(SwigluTest, GradCheck) {
+  Rng rng(5);
+  Tensor g = Tensor::randn(2, 6, rng, 1.0f);
+  Tensor u = Tensor::randn(2, 6, rng, 1.0f);
+  const Tensor dout = Tensor::randn(2, 6, rng, 1.0f);
+  Tensor dg, du;
+  swiglu_bwd(g, u, dout, dg, du);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < g.size(); ++i) {
+    float orig = g.data()[i];
+    g.data()[i] = orig + eps;
+    const double hi = dot(swiglu(g, u), dout);
+    g.data()[i] = orig - eps;
+    const double lo = dot(swiglu(g, u), dout);
+    g.data()[i] = orig;
+    EXPECT_NEAR((hi - lo) / (2.0 * eps), dg.data()[i], 3e-3);
+
+    orig = u.data()[i];
+    u.data()[i] = orig + eps;
+    const double hi2 = dot(swiglu(g, u), dout);
+    u.data()[i] = orig - eps;
+    const double lo2 = dot(swiglu(g, u), dout);
+    u.data()[i] = orig;
+    EXPECT_NEAR((hi2 - lo2) / (2.0 * eps), du.data()[i], 3e-3);
+  }
+}
+
+TEST(SiluTest, GradMatchesFiniteDifference) {
+  for (float x : {-3.0f, -1.0f, 0.0f, 0.5f, 2.0f}) {
+    const float eps = 1e-3f;
+    const float fd = (silu(x + eps) - silu(x - eps)) / (2.0f * eps);
+    EXPECT_NEAR(silu_grad(x), fd, 1e-3f);
+  }
+}
+
+TEST(RopeTest, PreservesNorm) {
+  Rng rng(6);
+  Tensor x = Tensor::randn(5, 8, rng, 1.0f);
+  const float before = x.l2norm();
+  rope_apply(x, 17);
+  EXPECT_NEAR(x.l2norm(), before, 1e-4f);
+}
+
+TEST(RopeTest, BackwardIsInverse) {
+  Rng rng(7);
+  Tensor x = Tensor::randn(5, 8, rng, 1.0f);
+  const Tensor orig = x;
+  rope_apply(x, 123);
+  rope_apply_bwd(x, 123);
+  EXPECT_LT(x.max_abs_diff(orig), 1e-5f);
+}
+
+TEST(RopeTest, PositionZeroFirstPairIdentity) {
+  // theta = 0 at position 0 regardless of frequency: rotation is identity.
+  Rng rng(8);
+  Tensor x = Tensor::randn(1, 8, rng, 1.0f);
+  const Tensor orig = x;
+  rope_apply(x, 0);
+  EXPECT_LT(x.max_abs_diff(orig), 1e-6f);
+}
+
+TEST(RopeTest, RelativePositionProperty) {
+  // <rope(q, i), rope(k, j)> depends only on i - j: shifting both
+  // positions by the same amount keeps all dot products.
+  Rng rng(9);
+  const Tensor q0 = Tensor::randn(1, 8, rng, 1.0f);
+  const Tensor k0 = Tensor::randn(1, 8, rng, 1.0f);
+  auto rotated_dot = [&](std::int64_t qi, std::int64_t kj) {
+    Tensor q = q0, k = k0;
+    rope_apply(q, qi);
+    rope_apply(k, kj);
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < 8; ++c) {
+      sum += static_cast<double>(q.at(0, c)) * k.at(0, c);
+    }
+    return sum;
+  };
+  EXPECT_NEAR(rotated_dot(5, 2), rotated_dot(105, 102), 1e-4);
+  EXPECT_NEAR(rotated_dot(9, 9), rotated_dot(0, 0), 1e-4);
+}
+
+TEST(RopeTest, GradCheck) {
+  Rng rng(10);
+  Tensor x = Tensor::randn(2, 4, rng, 1.0f);
+  const Tensor dout = Tensor::randn(2, 4, rng, 1.0f);
+  // d/dx of <rope(x), dout> is rope_bwd(dout).
+  Tensor grad = dout;
+  rope_apply_bwd(grad, 7);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    const float orig = x.data()[i];
+    auto value = [&]() {
+      Tensor y = x;
+      rope_apply(y, 7);
+      return dot(y, dout);
+    };
+    x.data()[i] = orig + eps;
+    const double hi = value();
+    x.data()[i] = orig - eps;
+    const double lo = value();
+    x.data()[i] = orig;
+    EXPECT_NEAR((hi - lo) / (2.0 * eps), grad.data()[i], 2e-3);
+  }
+}
+
+}  // namespace
+}  // namespace slim::num

@@ -1,0 +1,130 @@
+// Tests for the tensor substrate and the three matmul variants.
+
+#include <gtest/gtest.h>
+
+#include "src/numerics/tensor.hpp"
+#include "src/util/rng.hpp"
+
+namespace slim::num {
+namespace {
+
+TEST(TensorTest, ShapeAndAccess) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6);
+  t.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0), 0.0f);
+}
+
+TEST(TensorTest, SliceRows) {
+  Tensor t(4, 2);
+  for (int r = 0; r < 4; ++r) t.at(r, 0) = static_cast<float>(r);
+  const Tensor s = t.slice_rows(1, 3);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 0), 2.0f);
+  EXPECT_THROW(t.slice_rows(3, 2), std::logic_error);
+}
+
+TEST(TensorTest, SliceCols) {
+  Tensor t(2, 4);
+  for (int c = 0; c < 4; ++c) t.at(1, c) = static_cast<float>(c);
+  const Tensor s = t.slice_cols(2, 4);
+  EXPECT_EQ(s.cols(), 2);
+  EXPECT_FLOAT_EQ(s.at(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 1), 3.0f);
+}
+
+TEST(TensorTest, VcatRoundTrip) {
+  Rng rng(1);
+  const Tensor t = Tensor::randn(6, 3, rng);
+  const Tensor joined =
+      Tensor::vcat({t.slice_rows(0, 2), t.slice_rows(2, 5), t.slice_rows(5, 6)});
+  EXPECT_TRUE(joined.allclose(t, 0.0f));
+}
+
+TEST(TensorTest, AssignRows) {
+  Tensor t(4, 2);
+  Tensor src(2, 2);
+  src.fill(7.0f);
+  t.assign_rows(1, src);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 7.0f);
+  EXPECT_FLOAT_EQ(t.at(2, 1), 7.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(t.at(3, 0), 0.0f);
+}
+
+TEST(TensorTest, AddScaled) {
+  Tensor a(1, 3), b(1, 3);
+  a.fill(1.0f);
+  b.fill(2.0f);
+  a.add_scaled_(b, 0.5f);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 2.0f);
+}
+
+TEST(TensorTest, Transpose) {
+  Rng rng(2);
+  const Tensor t = Tensor::randn(3, 5, rng);
+  const Tensor tt = t.transposed();
+  EXPECT_EQ(tt.rows(), 5);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 5; ++c) EXPECT_FLOAT_EQ(tt.at(c, r), t.at(r, c));
+  }
+}
+
+TEST(TensorTest, Norms) {
+  Tensor t(1, 2);
+  t.at(0, 0) = 3.0f;
+  t.at(0, 1) = 4.0f;
+  EXPECT_FLOAT_EQ(t.l2norm(), 5.0f);
+}
+
+class MatmulTest : public ::testing::Test {
+ protected:
+  MatmulTest() : rng_(11) {}
+  Rng rng_;
+
+  static Tensor naive(const Tensor& a, const Tensor& b) {
+    Tensor c(a.rows(), b.cols());
+    for (std::int64_t i = 0; i < a.rows(); ++i) {
+      for (std::int64_t j = 0; j < b.cols(); ++j) {
+        double sum = 0.0;
+        for (std::int64_t k = 0; k < a.cols(); ++k) {
+          sum += static_cast<double>(a.at(i, k)) * b.at(k, j);
+        }
+        c.at(i, j) = static_cast<float>(sum);
+      }
+    }
+    return c;
+  }
+};
+
+TEST_F(MatmulTest, MatchesNaive) {
+  const Tensor a = Tensor::randn(7, 5, rng_, 1.0f);
+  const Tensor b = Tensor::randn(5, 9, rng_, 1.0f);
+  EXPECT_LT(matmul(a, b).max_abs_diff(naive(a, b)), 1e-5f);
+}
+
+TEST_F(MatmulTest, NtMatchesNaive) {
+  const Tensor a = Tensor::randn(4, 6, rng_, 1.0f);
+  const Tensor b = Tensor::randn(8, 6, rng_, 1.0f);
+  EXPECT_LT(matmul_nt(a, b).max_abs_diff(naive(a, b.transposed())), 1e-5f);
+}
+
+TEST_F(MatmulTest, TnMatchesNaive) {
+  const Tensor a = Tensor::randn(6, 4, rng_, 1.0f);
+  const Tensor b = Tensor::randn(6, 8, rng_, 1.0f);
+  EXPECT_LT(matmul_tn(a, b).max_abs_diff(naive(a.transposed(), b)), 1e-5f);
+}
+
+TEST_F(MatmulTest, ShapeMismatchThrows) {
+  const Tensor a(2, 3), b(4, 5);
+  EXPECT_THROW(matmul(a, b), std::logic_error);
+  EXPECT_THROW(matmul_nt(a, b), std::logic_error);
+  EXPECT_THROW(matmul_tn(a, b), std::logic_error);
+}
+
+}  // namespace
+}  // namespace slim::num

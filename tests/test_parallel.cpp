@@ -1,0 +1,200 @@
+// Tests for the hybrid-parallelism configuration rules and the grid search
+// (the machinery behind Figure 12's per-cell "best configuration" and its
+// failure markers).
+
+#include <gtest/gtest.h>
+
+#include "src/parallel/config.hpp"
+#include "src/parallel/search.hpp"
+
+namespace slim::parallel {
+namespace {
+
+constexpr std::int64_t kMi = 1024 * 1024;
+
+HybridConfig base_config() {
+  HybridConfig cfg;
+  cfg.t = 8;
+  cfg.c = 1;
+  cfg.d = 2;
+  cfg.p = 8;
+  cfg.scheme = core::Scheme::OneF1B;
+  return cfg;
+}
+
+TEST(ConfigTest, WorldSizeMustMatch) {
+  const auto cfg = base_config();  // world = 128
+  const auto llama = model::llama13b();
+  EXPECT_TRUE(validate(cfg, llama, 128, 64 * 1024, 4 * kMi).empty());
+  EXPECT_FALSE(validate(cfg, llama, 256, 64 * 1024, 4 * kMi).empty());
+}
+
+TEST(ConfigTest, TpBoundedByHeadsAndNode) {
+  auto cfg = base_config();
+  cfg.t = 16;
+  cfg.d = 1;
+  const auto llama = model::llama13b();
+  EXPECT_NE(validate(cfg, llama, 128, 64 * 1024, 4 * kMi).find("NVLink"),
+            std::string::npos);
+  // Llama 70B has 8 KV heads; t=16 would split them below 1.
+  auto cfg2 = base_config();
+  cfg2.t = 8;
+  EXPECT_TRUE(validate(cfg2, model::llama70b(), 128, 64 * 1024, 4 * kMi)
+                  .empty());
+}
+
+TEST(ConfigTest, LayerDivisibility) {
+  auto cfg = base_config();
+  cfg.p = 3;  // 40 layers % 3 != 0
+  cfg.d = 2;
+  cfg.t = 8;
+  cfg.c = 1;
+  const std::string err =
+      validate(cfg, model::llama13b(), 48, 64 * 1024, 4 * kMi);
+  EXPECT_NE(err.find("layers"), std::string::npos);
+}
+
+TEST(ConfigTest, ExpertParallelRules) {
+  auto cfg = base_config();
+  cfg.e = 4;
+  EXPECT_NE(validate(cfg, model::llama13b(), 128, 64 * 1024, 4 * kMi)
+                .find("dense"),
+            std::string::npos);
+  auto moe = base_config();
+  moe.t = 1;
+  moe.c = 8;
+  moe.d = 2;
+  moe.p = 8;
+  moe.e = 8;
+  EXPECT_TRUE(
+      validate(moe, model::mixtral8x7b(), 128, 64 * 1024, 4 * kMi).empty());
+  moe.e = 3;
+  EXPECT_FALSE(
+      validate(moe, model::mixtral8x7b(), 128, 64 * 1024, 4 * kMi).empty());
+}
+
+TEST(ConfigTest, MicrobatchArithmetic) {
+  auto cfg = base_config();
+  EXPECT_EQ(cfg.microbatches(64 * 1024, 4 * kMi), 32);
+  EXPECT_EQ(cfg.microbatches(512 * 1024, 4 * kMi), 4);
+  // Batch smaller than DP.
+  cfg.d = 16;
+  cfg.p = 1;
+  EXPECT_EQ(cfg.microbatches(512 * 1024, 4 * kMi), 0);
+}
+
+TEST(ConfigTest, InterleavedNeedsDivisibleMicrobatches) {
+  auto cfg = base_config();
+  cfg.scheme = core::Scheme::Interleaved1F1B;
+  cfg.v = 2;
+  cfg.d = 2;
+  // m = 4M / (512K * 2) = 4; p = 8 -> 4 % 8 != 0.
+  const std::string err =
+      validate(cfg, model::llama13b(), 128, 512 * 1024, 4 * kMi);
+  EXPECT_NE(err.find("divisible by p"), std::string::npos);
+}
+
+TEST(ConfigTest, SlimPipeSliceRules) {
+  auto cfg = base_config();
+  cfg.scheme = core::Scheme::SlimPipe;
+  cfg.n = 12;  // not a multiple of p=8
+  EXPECT_FALSE(
+      validate(cfg, model::llama13b(), 128, 64 * 1024, 4 * kMi).empty());
+  cfg.n = 16;
+  EXPECT_TRUE(
+      validate(cfg, model::llama13b(), 128, 64 * 1024, 4 * kMi).empty());
+}
+
+TEST(ConfigTest, DescribeMentionsKnobs) {
+  auto cfg = base_config();
+  cfg.scheme = core::Scheme::SlimPipe;
+  cfg.n = 16;
+  cfg.v = 2;
+  cfg.offload_ratio = 0.75;
+  const std::string s = cfg.describe();
+  EXPECT_NE(s.find("SlimPipe"), std::string::npos);
+  EXPECT_NE(s.find("n=16"), std::string::npos);
+  EXPECT_NE(s.find("offload=75%"), std::string::npos);
+}
+
+TEST(EstimateTest, MemoryTracksSimulation) {
+  // The analytic estimate should be within ~35% of the simulated peak for
+  // a typical configuration (it filters, the simulator decides).
+  auto cfg = base_config();
+  cfg.scheme = core::Scheme::OneF1B;
+  cfg.d = 2;
+  const auto llama = model::llama13b();
+  const auto gpu = model::hopper80();
+  const double est = estimate_peak_memory(cfg, llama, gpu, 64 * 1024, 4 * kMi);
+  auto spec = make_spec(cfg, llama, gpu, 64 * 1024, 4 * kMi);
+  const auto r = core::run_scheme(core::Scheme::OneF1B, spec);
+  EXPECT_NEAR(est, r.peak_memory, 0.35 * r.peak_memory);
+}
+
+TEST(EstimateTest, TimeOrdersPolicies) {
+  auto cfg = base_config();
+  const auto llama = model::llama13b();
+  const auto gpu = model::hopper80();
+  auto with_policy = [&](model::CheckpointPolicy p) {
+    auto c = cfg;
+    c.policy = p;
+    return estimate_iteration_time(c, llama, gpu, 64 * 1024, 4 * kMi);
+  };
+  EXPECT_LT(with_policy(model::CheckpointPolicy::None),
+            with_policy(model::CheckpointPolicy::Selective));
+  EXPECT_LT(with_policy(model::CheckpointPolicy::Selective),
+            with_policy(model::CheckpointPolicy::Full));
+}
+
+TEST(GridSearchTest, FindsConfigForEveryScheme) {
+  const auto llama = model::llama13b();
+  const auto gpu = model::hopper80();
+  for (const auto scheme :
+       {core::Scheme::OneF1B, core::Scheme::Interleaved1F1B,
+        core::Scheme::SlimPipe}) {
+    const SearchResult r =
+        grid_search(llama, gpu, 64, 64 * 1024, 4 * kMi, scheme);
+    EXPECT_EQ(r.status, SearchStatus::Ok) << core::scheme_name(scheme);
+    EXPECT_GT(r.result.mfu, 0.1);
+    EXPECT_FALSE(r.result.oom);
+  }
+}
+
+TEST(GridSearchTest, SlimPipeWinsLongContext) {
+  // The headline comparison: long context, fixed iteration tokens.
+  const auto llama = model::llama70b();
+  const auto gpu = model::hopper80();
+  const auto slim = grid_search(llama, gpu, 128, 512 * 1024, 4 * kMi,
+                                core::Scheme::SlimPipe);
+  const auto mega = grid_search(llama, gpu, 128, 512 * 1024, 4 * kMi,
+                                core::Scheme::Interleaved1F1B);
+  ASSERT_EQ(slim.status, SearchStatus::Ok);
+  if (mega.status == SearchStatus::Ok) {
+    EXPECT_GT(slim.result.mfu, mega.result.mfu);
+  }
+}
+
+TEST(GridSearchTest, ReportsOomWhenNothingFits) {
+  // Llama 149B on 8 GPUs at long context cannot fit under any layout.
+  const auto big = model::llama149b();
+  const auto gpu = model::hopper80();
+  const SearchResult r = grid_search(big, gpu, 8, 512 * 1024, 512 * 1024,
+                                     core::Scheme::OneF1B);
+  EXPECT_NE(r.status, SearchStatus::Ok);
+}
+
+TEST(MaxContextTest, SlimPipeExceedsClassicSchemes) {
+  // Figure 2's qualitative statement.
+  const auto llama = model::llama7b();
+  const auto gpu = model::hopper80();
+  const std::int64_t gran = 32 * 1024, cap = 2048 * 1024;
+  const std::int64_t f1b = max_supported_context(
+      core::Scheme::OneF1B, llama, gpu, 8, 8, gran, cap);
+  const std::int64_t slim = max_supported_context(
+      core::Scheme::SlimPipe, llama, gpu, 8, 8, gran, cap);
+  EXPECT_GT(f1b, 0);
+  EXPECT_GT(slim, 2 * f1b);
+}
+
+}  // namespace
+}  // namespace slim::parallel

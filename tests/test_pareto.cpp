@@ -1,0 +1,82 @@
+// Tests for the checkpoint/offload Pareto explorer (Yuan et al. [48]).
+
+#include <gtest/gtest.h>
+
+#include "src/parallel/pareto.hpp"
+
+namespace slim::parallel {
+namespace {
+
+HybridConfig base_config() {
+  HybridConfig cfg;
+  cfg.scheme = core::Scheme::SlimPipe;
+  cfg.t = 8;
+  cfg.c = 1;
+  cfg.d = 1;
+  cfg.p = 8;
+  cfg.v = 1;
+  cfg.n = 16;
+  return cfg;
+}
+
+TEST(ParetoTest, FrontierIsNonDominated) {
+  const auto points =
+      checkpoint_pareto(base_config(), model::llama13b(), model::hopper80(),
+                        256 * 1024, 512 * 1024, {0.0, 0.5});
+  ASSERT_FALSE(points.empty());
+  const auto frontier = pareto_frontier(points);
+  ASSERT_FALSE(frontier.empty());
+  for (const ParetoPoint& f : frontier) {
+    for (const ParetoPoint& other : points) {
+      const bool dominates = other.peak_memory < f.peak_memory &&
+                             other.iteration_time < f.iteration_time;
+      EXPECT_FALSE(dominates) << other.describe() << " dominates "
+                              << f.describe();
+    }
+  }
+  // Frontier sorted by memory ascending, time descending.
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GE(frontier[i].peak_memory, frontier[i - 1].peak_memory);
+    EXPECT_LE(frontier[i].iteration_time, frontier[i - 1].iteration_time);
+  }
+}
+
+TEST(ParetoTest, PoliciesTradeMemoryForTime) {
+  const auto points =
+      checkpoint_pareto(base_config(), model::llama13b(), model::hopper80(),
+                        256 * 1024, 512 * 1024, {0.0});
+  ASSERT_EQ(points.size(), 3u);  // one per policy
+  const auto& none = points[0];
+  const auto& selective = points[1];
+  const auto& full = points[2];
+  EXPECT_GT(none.peak_memory, selective.peak_memory);
+  EXPECT_GT(selective.peak_memory, full.peak_memory);
+  EXPECT_LT(none.iteration_time, selective.iteration_time);
+  EXPECT_LT(selective.iteration_time, full.iteration_time);
+}
+
+TEST(ParetoTest, OffloadExtendsTheFrontier) {
+  const auto plain =
+      checkpoint_pareto(base_config(), model::llama13b(), model::hopper80(),
+                        256 * 1024, 512 * 1024, {0.0});
+  const auto offloaded =
+      checkpoint_pareto(base_config(), model::llama13b(), model::hopper80(),
+                        256 * 1024, 512 * 1024, {0.0, 0.9});
+  double min_plain = 1e300, min_off = 1e300;
+  for (const auto& pt : plain) min_plain = std::min(min_plain, pt.peak_memory);
+  for (const auto& pt : offloaded) min_off = std::min(min_off, pt.peak_memory);
+  EXPECT_LT(min_off, min_plain);
+}
+
+TEST(ParetoTest, FrontierFlagMatchesRecomputation) {
+  const auto points =
+      checkpoint_pareto(base_config(), model::llama13b(), model::hopper80(),
+                        128 * 1024, 512 * 1024, {0.0, 0.5});
+  const auto frontier = pareto_frontier(points);
+  std::size_t flagged = 0;
+  for (const auto& pt : points) flagged += pt.on_frontier ? 1u : 0u;
+  EXPECT_EQ(flagged, frontier.size());
+}
+
+}  // namespace
+}  // namespace slim::parallel

@@ -1,0 +1,141 @@
+// Unit tests for the util library: integer helpers, formatting, tables and
+// deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/math.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/table.hpp"
+#include "src/util/units.hpp"
+
+namespace slim {
+namespace {
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(8, 4), 2);
+}
+
+TEST(MathTest, RoundUp) {
+  EXPECT_EQ(round_up(0, 8), 0);
+  EXPECT_EQ(round_up(1, 8), 8);
+  EXPECT_EQ(round_up(8, 8), 8);
+  EXPECT_EQ(round_up(9, 8), 16);
+}
+
+TEST(MathTest, Divides) {
+  EXPECT_TRUE(divides(4, 8));
+  EXPECT_TRUE(divides(1, 7));
+  EXPECT_FALSE(divides(3, 8));
+  EXPECT_FALSE(divides(0, 8));
+}
+
+TEST(MathTest, PowerOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(48));
+  EXPECT_FALSE(is_power_of_two(-4));
+}
+
+TEST(MathTest, Divisors) {
+  EXPECT_EQ(divisors(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(divisors(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(40), (std::vector<std::int64_t>{1, 2, 4, 5, 8, 10, 20, 40}));
+}
+
+TEST(MathTest, ArithSum) {
+  EXPECT_EQ(arith_sum(1, 4), 10);
+  EXPECT_EQ(arith_sum(3, 3), 3);
+  EXPECT_EQ(arith_sum(5, 4), 0);
+  EXPECT_EQ(arith_sum(0, 10), 55);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2.5 * kGiB), "2.50 GiB");
+  EXPECT_EQ(format_bytes(1.25 * kMiB), "1.25 MiB");
+}
+
+TEST(UnitsTest, FormatTime) {
+  EXPECT_EQ(format_time(1.5), "1.500 s");
+  EXPECT_EQ(format_time(2.5e-3), "2.500 ms");
+  EXPECT_EQ(format_time(3e-6), "3.0 us");
+}
+
+TEST(UnitsTest, FormatContext) {
+  EXPECT_EQ(format_context(131072), "128K");
+  EXPECT_EQ(format_context(2097152), "2048K");
+  EXPECT_EQ(format_context(1000), "1000");
+}
+
+TEST(UnitsTest, FormatPercent) {
+  EXPECT_EQ(format_percent(0.453), "45.3%");
+  EXPECT_EQ(format_percent(1.0), "100.0%");
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_separator();
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TableTest, RowWidthChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, BelowBound) {
+  Rng rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = rng.next_below(10);
+    EXPECT_LT(x, 10u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+}  // namespace
+}  // namespace slim

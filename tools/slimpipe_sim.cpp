@@ -1,0 +1,225 @@
+// slimpipe_sim — command-line front-end to the simulator.
+//
+// Simulate one training iteration of any pipeline scheme on any zoo model:
+//
+//   slimpipe_sim --model 70b --scheme slimpipe
+//                --t 4 --c 2 --p 8 --v 5 --n 16 --m 4 --seq 262144
+//                --ckpt none --offload 0.5 --timeline
+//
+// Or let the grid search pick the configuration:
+//
+//   slimpipe_sim --model 8x7b --scheme slimpipe --search --gpus 128
+//                --seq 524288 --tokens 4194304
+//
+// Prints time / MFU / bubbles / memory; --timeline adds the ASCII schedule,
+// --trace FILE dumps a Chrome trace.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/core/runner.hpp"
+#include "src/core/slimpipe.hpp"
+#include "src/parallel/search.hpp"
+#include "src/sched/builder.hpp"
+#include "src/sim/trace.hpp"
+#include "src/util/table.hpp"
+#include "src/util/units.hpp"
+
+using namespace slim;
+
+namespace {
+
+void usage() {
+  std::printf(R"(usage: slimpipe_sim [options]
+
+model / workload
+  --model NAME       7b | 13b | 70b | 149b | 8x7b | 8x22b   (default 13b)
+  --seq TOKENS       context length                          (default 131072)
+  --m N              microbatches per iteration              (default 4)
+  --tokens N         tokens per iteration (with --search)
+
+scheme
+  --scheme NAME      gpipe | terapipe | 1f1b | interleaved | zbv | vhalf |
+                     vmin | slimpipe                         (default slimpipe)
+  --t/--c/--e/--p N  tensor / context / expert / pipeline parallel sizes
+  --d N              data parallel size (optimizer sharding) (default 1)
+  --v N              stage chunks per device                 (default 1)
+  --n N              slices per sequence (slimpipe/terapipe) (default p)
+  --ckpt POLICY      none | selective | full                 (default none)
+  --offload RATIO    activation offload fraction [0,1)       (default 0)
+  --no-exchange      disable attention context exchange
+  --adaptive         adaptive context exchange
+  --no-vocab-par     keep the output layer on the last stage
+
+modes
+  --search           grid-search the configuration (needs --gpus, --tokens)
+  --gpus N           world size for --search
+  --timeline         print the ASCII schedule
+  --trace FILE       write a Chrome trace JSON
+)");
+}
+
+model::TransformerConfig pick_model(const std::string& name) {
+  if (name == "7b") return model::llama7b();
+  if (name == "13b") return model::llama13b();
+  if (name == "70b") return model::llama70b();
+  if (name == "149b") return model::llama149b();
+  if (name == "8x7b") return model::mixtral8x7b();
+  if (name == "8x22b") return model::mixtral8x22b();
+  std::fprintf(stderr, "unknown model '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+core::Scheme pick_scheme(const std::string& name) {
+  if (name == "gpipe") return core::Scheme::GPipe;
+  if (name == "terapipe") return core::Scheme::TeraPipe;
+  if (name == "1f1b") return core::Scheme::OneF1B;
+  if (name == "interleaved") return core::Scheme::Interleaved1F1B;
+  if (name == "zbv") return core::Scheme::ZBV;
+  if (name == "vhalf") return core::Scheme::VHalf;
+  if (name == "vmin") return core::Scheme::VMin;
+  if (name == "slimpipe") return core::Scheme::SlimPipe;
+  std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+model::CheckpointPolicy pick_policy(const std::string& name) {
+  if (name == "none") return model::CheckpointPolicy::None;
+  if (name == "selective") return model::CheckpointPolicy::Selective;
+  if (name == "full") return model::CheckpointPolicy::Full;
+  std::fprintf(stderr, "unknown checkpoint policy '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+void print_result(const sched::ScheduleResult& r) {
+  Table table({"metric", "value"});
+  table.add_row({"scheme", r.scheme});
+  table.add_row({"iteration time", format_time(r.iteration_time)});
+  table.add_row({"MFU", format_percent(r.mfu)});
+  table.add_row({"bubble fraction", format_percent(r.bubble_fraction)});
+  table.add_row({"peak memory", format_bytes(r.peak_memory)});
+  table.add_row({"first device", format_bytes(r.first_device_memory)});
+  table.add_row({"last device", format_bytes(r.last_device_memory)});
+  if (r.exchange_bytes_max_device > 0) {
+    table.add_row({"exchange volume (max device)",
+                   format_bytes(r.exchange_bytes_max_device)});
+  }
+  table.add_row({"fits in device memory", r.oom ? "NO (OOM)" : "yes"});
+  std::printf("%s", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_name = "13b", scheme_name = "slimpipe", ckpt = "none";
+  std::string trace_path;
+  std::int64_t seq = 131072, tokens = 0, t = 8, c = 1, e = 1, d = 1;
+  int p = 4, v = 1, n = 0, m = 4, gpus = 0;
+  double offload = 0.0;
+  bool search = false, timeline = false, exchange = true, adaptive = false,
+       vocab_parallel = true;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    const std::string arg = argv[i];
+    if (arg == "--model") model_name = next();
+    else if (arg == "--scheme") scheme_name = next();
+    else if (arg == "--seq") seq = std::atoll(next());
+    else if (arg == "--tokens") tokens = std::atoll(next());
+    else if (arg == "--t") t = std::atoll(next());
+    else if (arg == "--c") c = std::atoll(next());
+    else if (arg == "--e") e = std::atoll(next());
+    else if (arg == "--d") d = std::atoll(next());
+    else if (arg == "--p") p = std::atoi(next());
+    else if (arg == "--v") v = std::atoi(next());
+    else if (arg == "--n") n = std::atoi(next());
+    else if (arg == "--m") m = std::atoi(next());
+    else if (arg == "--gpus") gpus = std::atoi(next());
+    else if (arg == "--ckpt") ckpt = next();
+    else if (arg == "--offload") offload = std::atof(next());
+    else if (arg == "--search") search = true;
+    else if (arg == "--timeline") timeline = true;
+    else if (arg == "--trace") trace_path = next();
+    else if (arg == "--no-exchange") exchange = false;
+    else if (arg == "--adaptive") adaptive = true;
+    else if (arg == "--no-vocab-par") vocab_parallel = false;
+    else if (arg == "--help" || arg == "-h") { usage(); return 0; }
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+
+  const auto cfg = pick_model(model_name);
+  const auto scheme = pick_scheme(scheme_name);
+  const auto gpu = model::hopper80();
+
+  if (search) {
+    if (gpus <= 0 || tokens <= 0) {
+      std::fprintf(stderr, "--search requires --gpus and --tokens\n");
+      return 1;
+    }
+    parallel::SearchOptions opts;
+    opts.simulate_top_k = 6;
+    if (offload > 0.0) opts.offload_ratios = {0.0, offload};
+    const auto r =
+        parallel::grid_search(cfg, gpu, gpus, seq, tokens, scheme, opts);
+    if (r.status != parallel::SearchStatus::Ok) {
+      std::printf("search: %s (%s)\n", parallel::to_string(r.status),
+                  r.note.c_str());
+      return 2;
+    }
+    std::printf("best configuration: %s\n", r.best.describe().c_str());
+    print_result(r.result);
+    return 0;
+  }
+
+  sched::PipelineSpec spec;
+  spec.cfg = cfg;
+  spec.gpu = gpu;
+  spec.shard = {t, c, e, 8};
+  spec.policy = pick_policy(ckpt);
+  spec.p = p;
+  spec.v = v;
+  spec.n = n > 0 ? n : (scheme == core::Scheme::SlimPipe ? p : 1);
+  spec.m = m;
+  spec.d = d;
+  spec.seq = seq;
+  spec.offload.ratio = offload;
+  spec.offload.pcie_bandwidth = gpu.pcie_bandwidth;
+  spec.vocab_parallel = vocab_parallel && scheme == core::Scheme::SlimPipe;
+  spec.context_exchange = exchange;
+  spec.adaptive_exchange = adaptive;
+
+  try {
+    const auto r = core::run_scheme(scheme, spec, timeline || !trace_path.empty());
+    print_result(r);
+    if (timeline) std::printf("\n%s", r.ascii_timeline.c_str());
+    if (!trace_path.empty() && scheme == core::Scheme::SlimPipe) {
+      auto s = spec;
+      s.layout = spec.v == 1 ? sched::StageLayoutKind::Sequential
+                             : sched::StageLayoutKind::Interleaved;
+      s.retain_kv = true;
+      if (s.n < s.p) s.n = s.p;
+      const auto built = sched::compile(s, core::slimpipe_programs(s), nullptr);
+      const auto exec = sim::execute(*built.graph);
+      std::ofstream out(trace_path);
+      out << sim::chrome_trace_json(*built.graph, exec);
+      std::printf("\nChrome trace written to %s\n", trace_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "simulation failed: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq2_exchange_volume.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_eq2_exchange_volume.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_eq2_exchange_volume.dir/bench_eq2_exchange_volume.cpp.o"
+  "CMakeFiles/bench_eq2_exchange_volume.dir/bench_eq2_exchange_volume.cpp.o.d"
+  "bench_eq2_exchange_volume"
+  "bench_eq2_exchange_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq2_exchange_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_slice_length.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig11_slice_length.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig11_slice_length.dir/bench_fig11_slice_length.cpp.o"
+  "CMakeFiles/bench_fig11_slice_length.dir/bench_fig11_slice_length.cpp.o.d"
+  "bench_fig11_slice_length"
+  "bench_fig11_slice_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_slice_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

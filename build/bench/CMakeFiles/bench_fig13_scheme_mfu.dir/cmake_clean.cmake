@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_scheme_mfu.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig13_scheme_mfu.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig13_scheme_mfu.dir/bench_fig13_scheme_mfu.cpp.o"
+  "CMakeFiles/bench_fig13_scheme_mfu.dir/bench_fig13_scheme_mfu.cpp.o.d"
+  "bench_fig13_scheme_mfu"
+  "bench_fig13_scheme_mfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_scheme_mfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

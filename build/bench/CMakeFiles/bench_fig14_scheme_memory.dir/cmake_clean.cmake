@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_scheme_memory.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig14_scheme_memory.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig14_scheme_memory.dir/bench_fig14_scheme_memory.cpp.o"
+  "CMakeFiles/bench_fig14_scheme_memory.dir/bench_fig14_scheme_memory.cpp.o.d"
+  "bench_fig14_scheme_memory"
+  "bench_fig14_scheme_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_scheme_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

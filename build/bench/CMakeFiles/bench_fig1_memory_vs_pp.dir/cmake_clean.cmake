@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_memory_vs_pp.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig1_memory_vs_pp.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig1_memory_vs_pp.dir/bench_fig1_memory_vs_pp.cpp.o"
+  "CMakeFiles/bench_fig1_memory_vs_pp.dir/bench_fig1_memory_vs_pp.cpp.o.d"
+  "bench_fig1_memory_vs_pp"
+  "bench_fig1_memory_vs_pp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_memory_vs_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

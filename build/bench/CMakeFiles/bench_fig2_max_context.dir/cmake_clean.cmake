@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_max_context.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig2_max_context.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig2_max_context.dir/bench_fig2_max_context.cpp.o"
+  "CMakeFiles/bench_fig2_max_context.dir/bench_fig2_max_context.cpp.o.d"
+  "bench_fig2_max_context"
+  "bench_fig2_max_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_max_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cpp" "bench/CMakeFiles/bench_fig3_bubble_fractions.dir/bench_common.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_bubble_fractions.dir/bench_common.cpp.o.d"
+  "/root/repo/bench/bench_fig3_bubble_fractions.cpp" "bench/CMakeFiles/bench_fig3_bubble_fractions.dir/bench_fig3_bubble_fractions.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_bubble_fractions.dir/bench_fig3_bubble_fractions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/slim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/slim_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/slim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/slim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/slim_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/slim_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/slim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

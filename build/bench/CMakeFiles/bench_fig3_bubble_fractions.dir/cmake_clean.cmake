@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_bubble_fractions.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig3_bubble_fractions.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig3_bubble_fractions.dir/bench_fig3_bubble_fractions.cpp.o"
+  "CMakeFiles/bench_fig3_bubble_fractions.dir/bench_fig3_bubble_fractions.cpp.o.d"
+  "bench_fig3_bubble_fractions"
+  "bench_fig3_bubble_fractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_bubble_fractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

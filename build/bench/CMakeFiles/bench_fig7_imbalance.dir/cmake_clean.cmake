@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_imbalance.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig7_imbalance.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig7_imbalance.dir/bench_fig7_imbalance.cpp.o"
+  "CMakeFiles/bench_fig7_imbalance.dir/bench_fig7_imbalance.cpp.o.d"
+  "bench_fig7_imbalance"
+  "bench_fig7_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_ultra_context.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table4_ultra_context.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table4_ultra_context.dir/bench_table4_ultra_context.cpp.o"
+  "CMakeFiles/bench_table4_ultra_context.dir/bench_table4_ultra_context.cpp.o.d"
+  "bench_table4_ultra_context"
+  "bench_table4_ultra_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ultra_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliced_training_demo.dir/sliced_training_demo.cpp.o"
+  "CMakeFiles/sliced_training_demo.dir/sliced_training_demo.cpp.o.d"
+  "sliced_training_demo"
+  "sliced_training_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliced_training_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_core.dir/context_exchange.cpp.o"
+  "CMakeFiles/slim_core.dir/context_exchange.cpp.o.d"
+  "CMakeFiles/slim_core.dir/runner.cpp.o"
+  "CMakeFiles/slim_core.dir/runner.cpp.o.d"
+  "CMakeFiles/slim_core.dir/slimpipe.cpp.o"
+  "CMakeFiles/slim_core.dir/slimpipe.cpp.o.d"
+  "libslim_core.a"
+  "libslim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

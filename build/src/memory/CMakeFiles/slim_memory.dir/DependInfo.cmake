@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/kv_pool.cpp" "src/memory/CMakeFiles/slim_memory.dir/kv_pool.cpp.o" "gcc" "src/memory/CMakeFiles/slim_memory.dir/kv_pool.cpp.o.d"
+  "/root/repo/src/memory/offload.cpp" "src/memory/CMakeFiles/slim_memory.dir/offload.cpp.o" "gcc" "src/memory/CMakeFiles/slim_memory.dir/offload.cpp.o.d"
+  "/root/repo/src/memory/tracker.cpp" "src/memory/CMakeFiles/slim_memory.dir/tracker.cpp.o" "gcc" "src/memory/CMakeFiles/slim_memory.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/slim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/slim_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

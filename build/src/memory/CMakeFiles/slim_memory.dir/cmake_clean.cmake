@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_memory.dir/kv_pool.cpp.o"
+  "CMakeFiles/slim_memory.dir/kv_pool.cpp.o.d"
+  "CMakeFiles/slim_memory.dir/offload.cpp.o"
+  "CMakeFiles/slim_memory.dir/offload.cpp.o.d"
+  "CMakeFiles/slim_memory.dir/tracker.cpp.o"
+  "CMakeFiles/slim_memory.dir/tracker.cpp.o.d"
+  "libslim_memory.a"
+  "libslim_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/activation.cpp" "src/model/CMakeFiles/slim_model.dir/activation.cpp.o" "gcc" "src/model/CMakeFiles/slim_model.dir/activation.cpp.o.d"
+  "/root/repo/src/model/flops.cpp" "src/model/CMakeFiles/slim_model.dir/flops.cpp.o" "gcc" "src/model/CMakeFiles/slim_model.dir/flops.cpp.o.d"
+  "/root/repo/src/model/hardware.cpp" "src/model/CMakeFiles/slim_model.dir/hardware.cpp.o" "gcc" "src/model/CMakeFiles/slim_model.dir/hardware.cpp.o.d"
+  "/root/repo/src/model/transformer.cpp" "src/model/CMakeFiles/slim_model.dir/transformer.cpp.o" "gcc" "src/model/CMakeFiles/slim_model.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/slim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_model.dir/activation.cpp.o"
+  "CMakeFiles/slim_model.dir/activation.cpp.o.d"
+  "CMakeFiles/slim_model.dir/flops.cpp.o"
+  "CMakeFiles/slim_model.dir/flops.cpp.o.d"
+  "CMakeFiles/slim_model.dir/hardware.cpp.o"
+  "CMakeFiles/slim_model.dir/hardware.cpp.o.d"
+  "CMakeFiles/slim_model.dir/transformer.cpp.o"
+  "CMakeFiles/slim_model.dir/transformer.cpp.o.d"
+  "libslim_model.a"
+  "libslim_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

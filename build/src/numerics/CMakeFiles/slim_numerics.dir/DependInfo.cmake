@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/attention.cpp" "src/numerics/CMakeFiles/slim_numerics.dir/attention.cpp.o" "gcc" "src/numerics/CMakeFiles/slim_numerics.dir/attention.cpp.o.d"
+  "/root/repo/src/numerics/context_parallel.cpp" "src/numerics/CMakeFiles/slim_numerics.dir/context_parallel.cpp.o" "gcc" "src/numerics/CMakeFiles/slim_numerics.dir/context_parallel.cpp.o.d"
+  "/root/repo/src/numerics/cross_entropy.cpp" "src/numerics/CMakeFiles/slim_numerics.dir/cross_entropy.cpp.o" "gcc" "src/numerics/CMakeFiles/slim_numerics.dir/cross_entropy.cpp.o.d"
+  "/root/repo/src/numerics/moe.cpp" "src/numerics/CMakeFiles/slim_numerics.dir/moe.cpp.o" "gcc" "src/numerics/CMakeFiles/slim_numerics.dir/moe.cpp.o.d"
+  "/root/repo/src/numerics/norm_act.cpp" "src/numerics/CMakeFiles/slim_numerics.dir/norm_act.cpp.o" "gcc" "src/numerics/CMakeFiles/slim_numerics.dir/norm_act.cpp.o.d"
+  "/root/repo/src/numerics/rope.cpp" "src/numerics/CMakeFiles/slim_numerics.dir/rope.cpp.o" "gcc" "src/numerics/CMakeFiles/slim_numerics.dir/rope.cpp.o.d"
+  "/root/repo/src/numerics/tensor.cpp" "src/numerics/CMakeFiles/slim_numerics.dir/tensor.cpp.o" "gcc" "src/numerics/CMakeFiles/slim_numerics.dir/tensor.cpp.o.d"
+  "/root/repo/src/numerics/transformer_block.cpp" "src/numerics/CMakeFiles/slim_numerics.dir/transformer_block.cpp.o" "gcc" "src/numerics/CMakeFiles/slim_numerics.dir/transformer_block.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/slim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_numerics.dir/attention.cpp.o"
+  "CMakeFiles/slim_numerics.dir/attention.cpp.o.d"
+  "CMakeFiles/slim_numerics.dir/context_parallel.cpp.o"
+  "CMakeFiles/slim_numerics.dir/context_parallel.cpp.o.d"
+  "CMakeFiles/slim_numerics.dir/cross_entropy.cpp.o"
+  "CMakeFiles/slim_numerics.dir/cross_entropy.cpp.o.d"
+  "CMakeFiles/slim_numerics.dir/moe.cpp.o"
+  "CMakeFiles/slim_numerics.dir/moe.cpp.o.d"
+  "CMakeFiles/slim_numerics.dir/norm_act.cpp.o"
+  "CMakeFiles/slim_numerics.dir/norm_act.cpp.o.d"
+  "CMakeFiles/slim_numerics.dir/rope.cpp.o"
+  "CMakeFiles/slim_numerics.dir/rope.cpp.o.d"
+  "CMakeFiles/slim_numerics.dir/tensor.cpp.o"
+  "CMakeFiles/slim_numerics.dir/tensor.cpp.o.d"
+  "CMakeFiles/slim_numerics.dir/transformer_block.cpp.o"
+  "CMakeFiles/slim_numerics.dir/transformer_block.cpp.o.d"
+  "libslim_numerics.a"
+  "libslim_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

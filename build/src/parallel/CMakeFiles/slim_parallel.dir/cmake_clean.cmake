@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_parallel.dir/config.cpp.o"
+  "CMakeFiles/slim_parallel.dir/config.cpp.o.d"
+  "CMakeFiles/slim_parallel.dir/pareto.cpp.o"
+  "CMakeFiles/slim_parallel.dir/pareto.cpp.o.d"
+  "CMakeFiles/slim_parallel.dir/search.cpp.o"
+  "CMakeFiles/slim_parallel.dir/search.cpp.o.d"
+  "libslim_parallel.a"
+  "libslim_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_runtime.dir/pipeline_runtime.cpp.o"
+  "CMakeFiles/slim_runtime.dir/pipeline_runtime.cpp.o.d"
+  "libslim_runtime.a"
+  "libslim_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/builder.cpp" "src/sched/CMakeFiles/slim_sched.dir/builder.cpp.o" "gcc" "src/sched/CMakeFiles/slim_sched.dir/builder.cpp.o.d"
+  "/root/repo/src/sched/gpipe.cpp" "src/sched/CMakeFiles/slim_sched.dir/gpipe.cpp.o" "gcc" "src/sched/CMakeFiles/slim_sched.dir/gpipe.cpp.o.d"
+  "/root/repo/src/sched/onef1b.cpp" "src/sched/CMakeFiles/slim_sched.dir/onef1b.cpp.o" "gcc" "src/sched/CMakeFiles/slim_sched.dir/onef1b.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/slim_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/slim_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/ulysses.cpp" "src/sched/CMakeFiles/slim_sched.dir/ulysses.cpp.o" "gcc" "src/sched/CMakeFiles/slim_sched.dir/ulysses.cpp.o.d"
+  "/root/repo/src/sched/zbv.cpp" "src/sched/CMakeFiles/slim_sched.dir/zbv.cpp.o" "gcc" "src/sched/CMakeFiles/slim_sched.dir/zbv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/slim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/slim_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/slim_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_sched.dir/builder.cpp.o"
+  "CMakeFiles/slim_sched.dir/builder.cpp.o.d"
+  "CMakeFiles/slim_sched.dir/gpipe.cpp.o"
+  "CMakeFiles/slim_sched.dir/gpipe.cpp.o.d"
+  "CMakeFiles/slim_sched.dir/onef1b.cpp.o"
+  "CMakeFiles/slim_sched.dir/onef1b.cpp.o.d"
+  "CMakeFiles/slim_sched.dir/schedule.cpp.o"
+  "CMakeFiles/slim_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/slim_sched.dir/ulysses.cpp.o"
+  "CMakeFiles/slim_sched.dir/ulysses.cpp.o.d"
+  "CMakeFiles/slim_sched.dir/zbv.cpp.o"
+  "CMakeFiles/slim_sched.dir/zbv.cpp.o.d"
+  "libslim_sched.a"
+  "libslim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_sim.dir/executor.cpp.o"
+  "CMakeFiles/slim_sim.dir/executor.cpp.o.d"
+  "CMakeFiles/slim_sim.dir/graph.cpp.o"
+  "CMakeFiles/slim_sim.dir/graph.cpp.o.d"
+  "CMakeFiles/slim_sim.dir/topology.cpp.o"
+  "CMakeFiles/slim_sim.dir/topology.cpp.o.d"
+  "CMakeFiles/slim_sim.dir/trace.cpp.o"
+  "CMakeFiles/slim_sim.dir/trace.cpp.o.d"
+  "libslim_sim.a"
+  "libslim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

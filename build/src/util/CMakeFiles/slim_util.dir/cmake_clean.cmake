@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_util.dir/logging.cpp.o"
+  "CMakeFiles/slim_util.dir/logging.cpp.o.d"
+  "CMakeFiles/slim_util.dir/table.cpp.o"
+  "CMakeFiles/slim_util.dir/table.cpp.o.d"
+  "CMakeFiles/slim_util.dir/units.cpp.o"
+  "CMakeFiles/slim_util.dir/units.cpp.o.d"
+  "libslim_util.a"
+  "libslim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_attention.dir/test_numerics_attention.cpp.o"
+  "CMakeFiles/test_numerics_attention.dir/test_numerics_attention.cpp.o.d"
+  "test_numerics_attention"
+  "test_numerics_attention.pdb"
+  "test_numerics_attention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_model.dir/test_numerics_model.cpp.o"
+  "CMakeFiles/test_numerics_model.dir/test_numerics_model.cpp.o.d"
+  "test_numerics_model"
+  "test_numerics_model.pdb"
+  "test_numerics_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slimpipe.dir/test_slimpipe.cpp.o"
+  "CMakeFiles/test_slimpipe.dir/test_slimpipe.cpp.o.d"
+  "test_slimpipe"
+  "test_slimpipe.pdb"
+  "test_slimpipe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slimpipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zbv.dir/test_zbv.cpp.o"
+  "CMakeFiles/test_zbv.dir/test_zbv.cpp.o.d"
+  "test_zbv"
+  "test_zbv.pdb"
+  "test_zbv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zbv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

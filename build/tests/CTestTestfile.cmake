@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_zbv[1]_include.cmake")
+include("/root/repo/build/tests/test_slimpipe[1]_include.cmake")
+include("/root/repo/build/tests/test_exchange[1]_include.cmake")
+include("/root/repo/build/tests/test_numerics_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_numerics_attention[1]_include.cmake")
+include("/root/repo/build/tests/test_numerics_layers[1]_include.cmake")
+include("/root/repo/build/tests/test_numerics_model[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_context_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_moe[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_pareto[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slimpipe_sim.dir/slimpipe_sim.cpp.o"
+  "CMakeFiles/slimpipe_sim.dir/slimpipe_sim.cpp.o.d"
+  "slimpipe_sim"
+  "slimpipe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slimpipe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,6 +1,9 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+
+#include "src/sched/builder.hpp"
 
 namespace slimbench {
 
@@ -20,6 +23,10 @@ slim::sched::PipelineSpec base_spec(const slim::model::TransformerConfig& cfg,
 
 void print_banner(const std::string& artifact, const std::string& setup,
                   const std::string& paper_expectation) {
+  // Benches compile thousands of schedules over their grids; skip the
+  // static analysis passes unless explicitly requested (SLIMPIPE_LINT=1).
+  const char* lint = std::getenv("SLIMPIPE_LINT");
+  slim::sched::set_compile_lint(lint != nullptr && lint[0] == '1');
   std::printf("\n================================================================\n");
   std::printf("Reproducing: %s\n", artifact.c_str());
   std::printf("Setup:       %s\n", setup.c_str());

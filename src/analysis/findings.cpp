@@ -1,0 +1,57 @@
+#include "src/analysis/findings.hpp"
+
+#include <sstream>
+
+#include "src/util/table.hpp"
+
+namespace slim::analysis {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+bool has_errors(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    if (f.severity == Severity::Error) return true;
+  }
+  return false;
+}
+
+std::size_t count(const std::vector<Finding>& findings, Severity severity) {
+  std::size_t total = 0;
+  for (const Finding& f : findings) total += f.severity == severity ? 1 : 0;
+  return total;
+}
+
+bool has_rule(const std::vector<Finding>& findings,
+              const std::string& rule_id) {
+  for (const Finding& f : findings) {
+    if (f.rule_id == rule_id) return true;
+  }
+  return false;
+}
+
+std::string render(const std::vector<Finding>& findings) {
+  Table table({"severity", "rule", "location", "message"});
+  for (const Finding& f : findings) {
+    table.add_row({severity_name(f.severity), f.rule_id, f.location,
+                   f.message});
+  }
+  return table.to_string();
+}
+
+std::string summary(const std::vector<Finding>& findings) {
+  if (findings.empty()) return "clean";
+  std::ostringstream out;
+  out << findings.size() << " finding" << (findings.size() == 1 ? "" : "s")
+      << " (" << count(findings, Severity::Error) << " errors, "
+      << count(findings, Severity::Warning) << " warnings)";
+  return out.str();
+}
+
+}  // namespace slim::analysis

@@ -1,0 +1,51 @@
+#pragma once
+
+// Analysis pass 1 — schedule lint.
+//
+// Verifies per-device program invariants of a pipeline schedule *before*
+// graph building, turning what would otherwise surface as a simulator
+// deadlock or a wrong memory ledger into a named, located finding:
+//
+//   sched-spec                  PipelineSpec::validate() failure
+//   sched-pass-range            pass (microbatch, slice, chunk) out of range
+//   sched-forward-multiplicity  each (mb, slice, chunk) forward exactly once
+//                               per device
+//   sched-backward-multiplicity each unit retired by exactly one Backward or
+//                               exactly one BackwardInput+BackwardWeight pair
+//   sched-backward-order        backward before its forward, or weight-grad
+//                               before input-grad (ZB-V split ordering)
+//   sched-inflight-bound        live activation units exceed the scheme's
+//                               declared cap (Table 2 / Eq. 1 bounds)
+//   sched-layout-roundtrip      StageLayout device_of/chunk_of/stage_of
+//                               inconsistency (non-injective or out of range)
+//
+// The in-flight ledger mirrors the builder's memory deltas: a forward holds
+// one unit; Backward releases it; BackwardInput releases (1 - wkeep) and
+// BackwardWeight the remaining wkeep, with wkeep from the checkpoint policy
+// (model::wgrad_kept_fraction) — so the ZB-V greedy's fractional cap is
+// checked exactly.
+
+#include <vector>
+
+#include "src/analysis/findings.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace slim::analysis {
+
+struct ScheduleLintOptions {
+  /// Declared per-device cap on simultaneously-live activation units (one
+  /// unit = one (microbatch, slice, chunk) forward). <= 0 disables the
+  /// sched-inflight-bound rule — used by sched::compile, which does not know
+  /// which scheme produced the programs.
+  double max_inflight_units = 0.0;
+  /// Absolute slack added to the cap before flagging (the ZB-V greedy
+  /// compares against its cap with the same epsilon).
+  double inflight_tolerance = 1e-6;
+};
+
+std::vector<Finding> check_schedule(
+    const sched::PipelineSpec& spec,
+    const std::vector<sched::DeviceProgram>& programs,
+    const ScheduleLintOptions& options = {});
+
+}  // namespace slim::analysis

@@ -1,5 +1,8 @@
 #include "src/core/runner.hpp"
 
+#include <algorithm>
+
+#include "src/core/slice.hpp"
 #include "src/core/slimpipe.hpp"
 #include "src/sched/schemes.hpp"
 #include "src/util/logging.hpp"
@@ -48,6 +51,98 @@ sched::ScheduleResult run_scheme(Scheme scheme, sched::PipelineSpec spec,
   }
   SLIM_CHECK(false, "unknown scheme");
   return {};
+}
+
+SchedulePlan plan_scheme(Scheme scheme, sched::PipelineSpec spec) {
+  // Normalizations mirror the run_* runners exactly, so linting a plan
+  // covers the same schedule the simulator would execute.
+  SchedulePlan plan;
+  switch (scheme) {
+    case Scheme::GPipe:
+      spec.v = 1;
+      spec.n = 1;
+      spec.layout = sched::StageLayoutKind::Sequential;
+      spec.retain_kv = false;
+      spec.context_exchange = false;
+      // All m microbatches accumulate until the flush.
+      plan.max_inflight_units = static_cast<double>(spec.m);
+      plan.programs = sched::gpipe_programs(spec);
+      break;
+    case Scheme::TeraPipe:
+      spec.v = 1;
+      spec.layout = sched::StageLayoutKind::Sequential;
+      spec.retain_kv = true;
+      spec.context_exchange = false;
+      // GPipe-style accumulation at slice granularity: m * n live slices.
+      plan.max_inflight_units = static_cast<double>(spec.m) *
+                                static_cast<double>(spec.n);
+      plan.programs = sched::terapipe_programs(spec);
+      break;
+    case Scheme::OneF1B:
+      spec.v = 1;
+      spec.n = 1;
+      spec.layout = sched::StageLayoutKind::Sequential;
+      spec.retain_kv = false;
+      spec.context_exchange = false;
+      // Device 0's warm-up depth: p in-flight microbatches (fewer if m < p).
+      plan.max_inflight_units = static_cast<double>(std::min(spec.p, spec.m));
+      plan.programs = sched::onef1b_programs(spec);
+      break;
+    case Scheme::Interleaved1F1B:
+      spec.n = 1;
+      spec.retain_kv = false;
+      spec.context_exchange = false;
+      if (spec.v == 1) return plan_scheme(Scheme::OneF1B, std::move(spec));
+      spec.layout = sched::StageLayoutKind::Interleaved;
+      // Device 0's Megatron warm-up: 2(p-1) + (v-1)p + 1 chunk passes.
+      plan.max_inflight_units = std::min(
+          static_cast<double>(2 * (spec.p - 1) + (spec.v - 1) * spec.p + 1),
+          static_cast<double>(spec.m) * static_cast<double>(spec.v));
+      plan.programs = sched::interleaved_programs(spec);
+      break;
+    case Scheme::ZBV:
+    case Scheme::VHalf:
+    case Scheme::VMin: {
+      spec.v = 2;
+      spec.n = 1;
+      spec.layout = sched::StageLayoutKind::VShape;
+      spec.retain_kv = false;
+      spec.context_exchange = false;
+      spec.policy = model::CheckpointPolicy::None;
+      double cap = 2.0 * static_cast<double>(spec.p);  // ZB-V: 1F1B's peak
+      if (scheme == Scheme::VHalf) {
+        cap = static_cast<double>(spec.p) + 2.0;  // Table 2: (1/2 + 1/p) Ma
+      } else if (scheme == Scheme::VMin) {
+        cap = std::max(4.0, 2.0 * static_cast<double>(spec.p) / 3.0 + 2.0);
+      }
+      plan.max_inflight_units = cap;
+      plan.programs = sched::zbv_programs(spec, cap);
+      break;
+    }
+    case Scheme::SlimPipe:
+      spec.layout = spec.v == 1 ? sched::StageLayoutKind::Sequential
+                                : sched::StageLayoutKind::Interleaved;
+      spec.retain_kv = true;
+      spec.cp_mode = model::CpMode::Commutated;
+      if (spec.n < spec.p) spec.n = spec.p;
+      if (spec.n <= 1 || spec.p <= 1) spec.context_exchange = false;
+      // Eq. 1 window at device 0: n v + 2(p-1) slice units.
+      plan.max_inflight_units = std::min(
+          static_cast<double>(slimpipe_warmup_units(spec.p, 0, spec.n, spec.v)),
+          static_cast<double>(spec.m) * static_cast<double>(spec.n) *
+              static_cast<double>(spec.v));
+      plan.programs = slimpipe_programs(spec);
+      break;
+  }
+  SLIM_CHECK(!plan.programs.empty(),
+             "scheme generated no device programs (is p >= 1?)");
+  // A schedule can never hold more units than the (normalized) iteration has.
+  plan.max_inflight_units =
+      std::min(plan.max_inflight_units, static_cast<double>(spec.m) *
+                                            static_cast<double>(spec.n) *
+                                            static_cast<double>(spec.v));
+  plan.spec = std::move(spec);
+  return plan;
 }
 
 }  // namespace slim::core

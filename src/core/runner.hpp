@@ -32,4 +32,18 @@ std::vector<Scheme> all_schemes();
 sched::ScheduleResult run_scheme(Scheme scheme, sched::PipelineSpec spec,
                                  bool want_timeline = false);
 
+/// A scheme's schedule without running the simulator: the normalized spec,
+/// the generated per-device programs and the scheme's declared cap on
+/// simultaneously-live activation units (one unit = one (microbatch, slice,
+/// chunk) forward; Table 2 bounds). Input to the static analysis passes.
+struct SchedulePlan {
+  sched::PipelineSpec spec;
+  std::vector<sched::DeviceProgram> programs;
+  double max_inflight_units = 0.0;
+};
+
+/// Normalizes the spec exactly like the scheme's runner and generates its
+/// programs. Throws (SLIM_CHECK) on specs the scheme cannot schedule.
+SchedulePlan plan_scheme(Scheme scheme, sched::PipelineSpec spec);
+
 }  // namespace slim::core

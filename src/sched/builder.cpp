@@ -1,8 +1,11 @@
 #include "src/sched/builder.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
+#include "src/analysis/graph_check.hpp"
+#include "src/analysis/schedule_check.hpp"
 #include "src/model/activation.hpp"
 #include "src/sim/trace.hpp"
 #include "src/util/logging.hpp"
@@ -14,6 +17,8 @@ namespace slim::sched {
 namespace {
 
 constexpr double kMemoryReserveBytes = 3.0 * kGiB;  // runtime + NCCL + workspace
+
+std::atomic<bool> g_compile_lint{true};
 
 std::int64_t pack_key(PassType type, std::int32_t mb, std::int32_t slice,
                       std::int32_t stage) {
@@ -42,6 +47,9 @@ double device_params(const model::TransformerConfig& cfg,
 }
 
 }  // namespace
+
+void set_compile_lint(bool enabled) { g_compile_lint.store(enabled); }
+bool compile_lint_enabled() { return g_compile_lint.load(); }
 
 sim::Topology pipeline_topology(const PipelineSpec& spec) {
   const std::int64_t gpus_per_rank = spec.shard.t * spec.shard.c;
@@ -500,6 +508,23 @@ BuildOutput compile(const PipelineSpec& spec,
     output.baseline.push_back(
         {dev, mem::kOptimizer,
          params * 12.0 / static_cast<double>(std::max<std::int64_t>(1, spec.d))});
+  }
+
+  // ---- static analysis (schedule + graph lint) ----
+  // The scheme is unknown here, so the in-flight activation bound stays off
+  // (slimpipe_lint and the tests check it with the scheme's declared cap).
+  if (compile_lint_enabled()) {
+    std::vector<analysis::Finding> findings =
+        analysis::check_schedule(spec, programs);
+    const std::vector<analysis::Finding> graph_findings =
+        analysis::check_graph(graph, spec);
+    findings.insert(findings.end(), graph_findings.begin(),
+                    graph_findings.end());
+    if (analysis::has_errors(findings)) {
+      SLIM_CHECK(false,
+                 "static analysis rejected the schedule:\n" +
+                     analysis::render(findings));
+    }
   }
   return output;
 }

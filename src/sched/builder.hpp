@@ -53,10 +53,19 @@ struct BuildOutput {
 };
 
 /// Compiles programs into an op graph (one compute stream per pipeline
-/// device, channels between adjacent ranks).
+/// device, channels between adjacent ranks). With the compile-time lint
+/// enabled (the default), the static analysis passes (src/analysis) verify
+/// the schedule and the built graph and any Error finding aborts with the
+/// rendered report.
 BuildOutput compile(const PipelineSpec& spec,
                     const std::vector<DeviceProgram>& programs,
                     const ExchangeOracle* exchange);
+
+/// Process-global toggle for the static analysis passes inside compile().
+/// On by default (every test exercises them); benches turn it off so the
+/// large grid sweeps do not pay the extra linear pass per compilation.
+void set_compile_lint(bool enabled);
+bool compile_lint_enabled();
 
 /// Compiles, executes, replays memory and assembles the full result.
 ScheduleResult run_pipeline(const PipelineSpec& spec,

@@ -252,13 +252,14 @@ ScheduleResult run_zb_family(PipelineSpec spec, double cap_units,
 
 ScheduleResult run_zbv(PipelineSpec spec, bool want_timeline) {
   // Peak bounded by 1F1B's: p microbatch activations = 2p stage units.
-  return run_zb_family(std::move(spec), 2.0 * spec.p, "ZB-V", want_timeline);
+  const double cap = 2.0 * static_cast<double>(spec.p);
+  return run_zb_family(std::move(spec), cap, "ZB-V", want_timeline);
 }
 
 ScheduleResult run_vhalf(PipelineSpec spec, bool want_timeline) {
   // Table 2: (1/2 + 1/p) Ma = p + 2 stage units.
-  return run_zb_family(std::move(spec), static_cast<double>(spec.p) + 2.0,
-                       "V-Half", want_timeline);
+  const double cap = static_cast<double>(spec.p) + 2.0;
+  return run_zb_family(std::move(spec), cap, "V-Half", want_timeline);
 }
 
 ScheduleResult run_vmin(PipelineSpec spec, bool want_timeline) {

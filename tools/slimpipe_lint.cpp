@@ -1,0 +1,264 @@
+// slimpipe_lint — static analysis front-end.
+//
+// Lints a scheme/spec combination without running the simulator: generates
+// the scheme's per-device programs, runs the schedule pass (per-pass
+// invariants plus the scheme's declared in-flight activation bound), builds
+// the op graph and runs the graph pass (acyclicity, channel FIFO matching,
+// memory-ledger conservation). Any Error finding fails the run.
+//
+//   slimpipe_lint --scheme slimpipe --model 13b --p 4 --n 8 --m 8
+//   slimpipe_lint --scheme all --p 8
+//   slimpipe_lint --sweep            # acceptance grid, all schemes
+//
+// Exit status: 0 = clean, 1 = findings, 2 = usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/graph_check.hpp"
+#include "src/analysis/schedule_check.hpp"
+#include "src/core/context_exchange.hpp"
+#include "src/core/runner.hpp"
+#include "src/sched/builder.hpp"
+#include "src/util/table.hpp"
+
+using namespace slim;
+
+namespace {
+
+void usage() {
+  std::printf(R"(usage: slimpipe_lint [options]
+
+model / workload
+  --model NAME       7b | 13b | 70b | 149b | 8x7b | 8x22b   (default 13b)
+  --seq TOKENS       context length                          (default 131072)
+  --m N              microbatches per iteration              (default 4)
+
+scheme / schedule
+  --scheme NAME      gpipe | terapipe | 1f1b | interleaved | zbv | vhalf |
+                     vmin | slimpipe | all                   (default all)
+  --t/--c/--e/--p N  tensor / context / expert / pipeline parallel sizes
+  --d N              data parallel size (optimizer sharding) (default 1)
+  --v N              stage chunks per device                 (default 1)
+  --n N              slices per sequence (slimpipe/terapipe) (default p)
+  --ckpt POLICY      none | selective | full                 (default none)
+  --offload RATIO    activation offload fraction [0,1)       (default 0)
+  --no-exchange      disable attention context exchange
+  --no-vocab-par     keep the output layer on the last stage
+
+modes
+  --sweep            lint every scheme over p in {2,4,8}, n in {1,4},
+                     m in {p, 2p} (other options fix the rest of the spec)
+  --verbose          print a line for clean combinations too
+)");
+}
+
+model::TransformerConfig pick_model(const std::string& name) {
+  if (name == "7b") return model::llama7b();
+  if (name == "13b") return model::llama13b();
+  if (name == "70b") return model::llama70b();
+  if (name == "149b") return model::llama149b();
+  if (name == "8x7b") return model::mixtral8x7b();
+  if (name == "8x22b") return model::mixtral8x22b();
+  std::fprintf(stderr, "unknown model '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+model::CheckpointPolicy pick_policy(const std::string& name) {
+  if (name == "none") return model::CheckpointPolicy::None;
+  if (name == "selective") return model::CheckpointPolicy::Selective;
+  if (name == "full") return model::CheckpointPolicy::Full;
+  std::fprintf(stderr, "unknown checkpoint policy '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+std::vector<core::Scheme> pick_schemes(const std::string& name) {
+  if (name == "all") return core::all_schemes();
+  if (name == "gpipe") return {core::Scheme::GPipe};
+  if (name == "terapipe") return {core::Scheme::TeraPipe};
+  if (name == "1f1b") return {core::Scheme::OneF1B};
+  if (name == "interleaved") return {core::Scheme::Interleaved1F1B};
+  if (name == "zbv") return {core::Scheme::ZBV};
+  if (name == "vhalf") return {core::Scheme::VHalf};
+  if (name == "vmin") return {core::Scheme::VMin};
+  if (name == "slimpipe") return {core::Scheme::SlimPipe};
+  std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+/// Runs both passes over one scheme/spec combination and returns the
+/// combined findings. Exceptions from plan generation or graph building
+/// (SLIM_CHECK failures) surface as a synthetic `internal-error` finding.
+std::vector<analysis::Finding> lint_combo(core::Scheme scheme,
+                                          sched::PipelineSpec spec) {
+  std::vector<analysis::Finding> findings;
+  try {
+    const core::SchedulePlan plan = core::plan_scheme(scheme, std::move(spec));
+
+    analysis::ScheduleLintOptions sched_opts;
+    sched_opts.max_inflight_units = plan.max_inflight_units;
+    findings = analysis::check_schedule(plan.spec, plan.programs, sched_opts);
+    // A schedule pass 1 rejects cannot be compiled meaningfully.
+    if (analysis::has_errors(findings)) return findings;
+
+    // Build the graph ourselves (lint disabled) so rule violations come
+    // back as findings instead of the compile-time SLIM_CHECK abort.
+    const bool lint_was_on = sched::compile_lint_enabled();
+    sched::set_compile_lint(false);
+    std::unique_ptr<core::ExchangePlanner> planner;
+    if (plan.spec.context_exchange && plan.spec.p > 1) {
+      planner = std::make_unique<core::ExchangePlanner>(plan.spec);
+    }
+    sched::BuildOutput built;
+    try {
+      built = sched::compile(plan.spec, plan.programs, planner.get());
+    } catch (...) {
+      sched::set_compile_lint(lint_was_on);
+      throw;
+    }
+    sched::set_compile_lint(lint_was_on);
+
+    const std::vector<analysis::Finding> graph_findings =
+        analysis::check_graph(*built.graph, plan.spec);
+    findings.insert(findings.end(), graph_findings.begin(),
+                    graph_findings.end());
+  } catch (const std::exception& e) {
+    findings.push_back({analysis::Severity::Error, "internal-error",
+                        std::string(core::scheme_name(scheme)), e.what()});
+  }
+  return findings;
+}
+
+std::string combo_label(core::Scheme scheme, const sched::PipelineSpec& spec) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s p=%d v=%d n=%d m=%d",
+                core::scheme_name(scheme), spec.p, spec.v, spec.n, spec.m);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_name = "13b", scheme_name = "all", ckpt = "none";
+  std::int64_t seq = 131072, t = 8, c = 1, e = 1, d = 1;
+  int p = 4, v = 1, n = 0, m = 4;
+  double offload = 0.0;
+  bool sweep = false, verbose = false, exchange = true, vocab_parallel = true;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const std::string arg = argv[i];
+    if (arg == "--model") model_name = next();
+    else if (arg == "--scheme") scheme_name = next();
+    else if (arg == "--seq") seq = std::atoll(next());
+    else if (arg == "--t") t = std::atoll(next());
+    else if (arg == "--c") c = std::atoll(next());
+    else if (arg == "--e") e = std::atoll(next());
+    else if (arg == "--d") d = std::atoll(next());
+    else if (arg == "--p") p = std::atoi(next());
+    else if (arg == "--v") v = std::atoi(next());
+    else if (arg == "--n") n = std::atoi(next());
+    else if (arg == "--m") m = std::atoi(next());
+    else if (arg == "--ckpt") ckpt = next();
+    else if (arg == "--offload") offload = std::atof(next());
+    else if (arg == "--sweep") sweep = true;
+    else if (arg == "--verbose") verbose = true;
+    else if (arg == "--no-exchange") exchange = false;
+    else if (arg == "--no-vocab-par") vocab_parallel = false;
+    else if (arg == "--help" || arg == "-h") { usage(); return 0; }
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  const auto cfg = pick_model(model_name);
+  const auto schemes = pick_schemes(scheme_name);
+  const auto gpu = model::hopper80();
+
+  sched::PipelineSpec base;
+  base.cfg = cfg;
+  base.gpu = gpu;
+  base.shard = {t, c, e, 8};
+  base.policy = pick_policy(ckpt);
+  base.d = d;
+  base.seq = seq;
+  base.offload.ratio = offload;
+  base.offload.pcie_bandwidth = gpu.pcie_bandwidth;
+  base.context_exchange = exchange;
+
+  struct Combo {
+    core::Scheme scheme;
+    sched::PipelineSpec spec;
+  };
+  std::vector<Combo> combos;
+  if (sweep) {
+    for (const core::Scheme scheme : schemes) {
+      for (const int sp : {2, 4, 8}) {
+        for (const int sn : {1, 4}) {
+          for (const int sm : {sp, 2 * sp}) {
+            sched::PipelineSpec spec = base;
+            spec.p = sp;
+            spec.v = v;
+            spec.n = sn;
+            spec.m = sm;
+            if (scheme == core::Scheme::TeraPipe && sn > 1 && sn % sp != 0) {
+              // Uniform slicing requires n to be a multiple of p; TeraPipe
+              // (unlike SlimPipe) does not normalize n, so round it up.
+              spec.n = ((sn + sp - 1) / sp) * sp;
+            }
+            spec.vocab_parallel =
+                vocab_parallel && scheme == core::Scheme::SlimPipe;
+            combos.push_back({scheme, std::move(spec)});
+          }
+        }
+      }
+    }
+  } else {
+    for (const core::Scheme scheme : schemes) {
+      sched::PipelineSpec spec = base;
+      spec.p = p;
+      spec.v = v;
+      spec.n = n > 0 ? n : (scheme == core::Scheme::SlimPipe ? p : 1);
+      spec.m = m;
+      spec.vocab_parallel = vocab_parallel && scheme == core::Scheme::SlimPipe;
+      combos.push_back({scheme, std::move(spec)});
+    }
+  }
+
+  int dirty = 0;
+  std::size_t total_findings = 0;
+  for (const Combo& combo : combos) {
+    const auto findings = lint_combo(combo.scheme, combo.spec);
+    const std::string label = combo_label(combo.scheme, combo.spec);
+    if (findings.empty()) {
+      if (verbose) std::printf("%-40s clean\n", label.c_str());
+      continue;
+    }
+    ++dirty;
+    total_findings += findings.size();
+    std::printf("%s: %s\n%s", label.c_str(),
+                analysis::summary(findings).c_str(),
+                analysis::render(findings).c_str());
+  }
+
+  if (dirty == 0) {
+    std::printf("%zu combination%s linted, no findings\n", combos.size(),
+                combos.size() == 1 ? "" : "s");
+    return 0;
+  }
+  std::printf("%d of %zu combinations with findings (%zu total)\n", dirty,
+              combos.size(), total_findings);
+  return 1;
+}

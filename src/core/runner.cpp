@@ -1,9 +1,12 @@
 #include "src/core/runner.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "src/core/context_exchange.hpp"
 #include "src/core/slice.hpp"
 #include "src/core/slimpipe.hpp"
+#include "src/sched/builder.hpp"
 #include "src/sched/schemes.hpp"
 #include "src/util/logging.hpp"
 
@@ -51,6 +54,23 @@ sched::ScheduleResult run_scheme(Scheme scheme, sched::PipelineSpec spec,
   }
   SLIM_CHECK(false, "unknown scheme");
   return {};
+}
+
+sched::ScheduleResult run_scheme_faulted(Scheme scheme,
+                                         sched::PipelineSpec spec,
+                                         const fault::FaultPlan& faults,
+                                         fault::FaultReport* report,
+                                         bool want_timeline) {
+  // plan_scheme applies the same spec normalization as the run_* runners,
+  // so the faulted run executes exactly the schedule run_scheme would.
+  SchedulePlan plan = plan_scheme(scheme, std::move(spec));
+  std::unique_ptr<ExchangePlanner> planner;
+  if (plan.spec.context_exchange && plan.spec.p > 1) {
+    planner = std::make_unique<ExchangePlanner>(plan.spec);
+  }
+  return sched::run_pipeline_faulted(plan.spec, plan.programs, planner.get(),
+                                     scheme_name(scheme), faults, report,
+                                     want_timeline);
 }
 
 SchedulePlan plan_scheme(Scheme scheme, sched::PipelineSpec spec) {

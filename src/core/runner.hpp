@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault_plan.hpp"
 #include "src/sched/schedule.hpp"
 
 namespace slim::core {
@@ -31,6 +32,18 @@ std::vector<Scheme> all_schemes();
 /// supports them.
 sched::ScheduleResult run_scheme(Scheme scheme, sched::PipelineSpec spec,
                                  bool want_timeline = false);
+
+/// Runs one simulated iteration under the given scheme with a fault plan
+/// applied: straggler/link faults degrade op durations before execution,
+/// device crashes add checkpoint-restart recovery cost afterwards. The
+/// result's iteration_time is the degraded total and the fault_* fields
+/// break out the overheads; `report`, when set, collects the structured
+/// fault events.
+sched::ScheduleResult run_scheme_faulted(Scheme scheme,
+                                         sched::PipelineSpec spec,
+                                         const fault::FaultPlan& faults,
+                                         fault::FaultReport* report = nullptr,
+                                         bool want_timeline = false);
 
 /// A scheme's schedule without running the simulator: the normalized spec,
 /// the generated per-device programs and the scheme's declared cap on

@@ -1,0 +1,165 @@
+#include "src/fault/fault_sim.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/logging.hpp"
+#include "src/util/rng.hpp"
+
+namespace slim::fault {
+
+namespace {
+
+bool filter_matches(OpFilter filter, sim::OpClass cls) {
+  switch (filter) {
+    case OpFilter::Any:
+      return true;
+    case OpFilter::Forward:
+      return cls == sim::OpClass::Forward || cls == sim::OpClass::Recompute ||
+             cls == sim::OpClass::VocabForward;
+    case OpFilter::Backward:
+      return cls == sim::OpClass::Backward ||
+             cls == sim::OpClass::BackwardInput ||
+             cls == sim::OpClass::BackwardWeight ||
+             cls == sim::OpClass::VocabBackward;
+    case OpFilter::Comm:
+      return cls == sim::OpClass::Send || cls == sim::OpClass::ExchangeSend ||
+             cls == sim::OpClass::Collective;
+  }
+  return false;
+}
+
+bool is_transfer(sim::OpClass cls) {
+  return cls == sim::OpClass::Send || cls == sim::OpClass::ExchangeSend;
+}
+
+/// Deterministic per-(plan, device, op) jitter draw in [-1, 1].
+double jitter_draw(std::uint64_t seed, int device, std::int64_t index) {
+  Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(device + 2)) ^
+          (0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(index + 1)));
+  return rng.next_double() * 2.0 - 1.0;
+}
+
+}  // namespace
+
+double apply_to_graph(sim::OpGraph& graph, const FaultPlan& plan,
+                      FaultReport* report) {
+  if (plan.stragglers.empty() && plan.links.empty()) return 0.0;
+
+  struct Tally {
+    std::int64_t ops = 0;
+    double seconds = 0.0;
+  };
+  std::vector<Tally> straggler_tally(plan.stragglers.size());
+  std::vector<Tally> link_tally(plan.links.size());
+
+  // Per-device event counter over all ops in insertion order — the index
+  // space straggler windows select on (comm ops count on the sender).
+  std::vector<std::int64_t> next_index;
+  double injected = 0.0;
+
+  const std::size_t n = graph.ops().size();
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::Op& op = graph.op(static_cast<sim::OpId>(i));
+    if (static_cast<std::size_t>(op.device) >= next_index.size()) {
+      next_index.resize(static_cast<std::size_t>(op.device) + 1, 0);
+    }
+    const std::int64_t index = next_index[static_cast<std::size_t>(op.device)]++;
+
+    for (std::size_t f = 0; f < plan.stragglers.size(); ++f) {
+      const Straggler& s = plan.stragglers[f];
+      if (s.device != -1 && s.device != op.device) continue;
+      if (!filter_matches(s.ops, op.cls)) continue;
+      if (index < s.from_op || (s.to_op >= 0 && index > s.to_op)) continue;
+      double factor = s.factor;
+      if (s.jitter > 0.0) {
+        factor = 1.0 + (s.factor - 1.0) *
+                           (1.0 + s.jitter * jitter_draw(plan.seed, op.device,
+                                                         index));
+        factor = std::max(1.0, factor);
+      }
+      const double extra = op.duration * (factor - 1.0);
+      op.duration += extra;
+      injected += extra;
+      ++straggler_tally[f].ops;
+      straggler_tally[f].seconds += extra;
+    }
+
+    if (!is_transfer(op.cls)) continue;
+    for (std::size_t f = 0; f < plan.links.size(); ++f) {
+      const LinkFault& l = plan.links[f];
+      if (l.src != -1 && l.src != op.device) continue;
+      const double extra =
+          op.duration * (l.slowdown - 1.0) + l.extra_latency;
+      op.duration += extra;
+      injected += extra;
+      ++link_tally[f].ops;
+      link_tally[f].seconds += extra;
+    }
+  }
+
+  if (report != nullptr) {
+    for (std::size_t f = 0; f < plan.stragglers.size(); ++f) {
+      if (straggler_tally[f].ops == 0) continue;
+      const Straggler& s = plan.stragglers[f];
+      std::ostringstream detail;
+      detail << "x" << s.factor << " on " << op_filter_name(s.ops) << " ops, "
+             << straggler_tally[f].ops << " ops slowed by "
+             << straggler_tally[f].seconds << " s total";
+      report->events.push_back({FaultEvent::Kind::Straggler, s.device, 0.0,
+                                s.from_op, detail.str()});
+    }
+    for (std::size_t f = 0; f < plan.links.size(); ++f) {
+      if (link_tally[f].ops == 0) continue;
+      const LinkFault& l = plan.links[f];
+      std::ostringstream detail;
+      detail << "x" << l.slowdown << " +" << l.extra_latency << " s, "
+             << link_tally[f].ops << " transfers slowed by "
+             << link_tally[f].seconds << " s total";
+      report->events.push_back(
+          {FaultEvent::Kind::LinkDegraded, l.src, 0.0, -1, detail.str()});
+    }
+    report->injected_seconds += injected;
+  }
+  return injected;
+}
+
+double recovery_overhead(const sim::OpGraph& graph,
+                         const sim::ExecResult& exec, const FaultPlan& plan,
+                         FaultReport* report) {
+  double overhead = 0.0;
+  for (const Crash& crash : plan.crashes) {
+    // The device's at_op-th compute op in program order, clamped to its
+    // last one (a crash "past the end" fails during the final pass).
+    sim::OpId crashing = sim::kInvalidOp;
+    std::int64_t seen = 0;
+    for (const sim::Op& op : graph.ops()) {
+      if (op.device != crash.device || !sim::is_compute_class(op.cls)) {
+        continue;
+      }
+      crashing = op.id;
+      if (seen++ == crash.at_op) break;
+    }
+    SLIM_CHECK(crashing != sim::kInvalidOp,
+               "crash device " + std::to_string(crash.device) +
+                   " has no compute ops");
+    const double crash_time =
+        exec.timings[static_cast<std::size_t>(crashing)].end;
+    // Checkpoint-restart from the iteration boundary: everything executed
+    // since t=0 is lost, plus the respawn cost; the iteration then replays
+    // in full (the caller adds the makespan once).
+    const double cost = crash_time + crash.restart_cost;
+    overhead += cost;
+    if (report != nullptr) {
+      std::ostringstream detail;
+      detail << "lost " << crash_time << " s in-flight + "
+             << crash.restart_cost << " s restart; iteration replayed";
+      report->events.push_back({FaultEvent::Kind::Crash, crash.device,
+                                crash_time, crash.at_op, detail.str()});
+    }
+  }
+  if (report != nullptr) report->recovery_overhead += overhead;
+  return overhead;
+}
+
+}  // namespace slim::fault

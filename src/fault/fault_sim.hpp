@@ -1,0 +1,38 @@
+#pragma once
+
+// Applies a FaultPlan to the discrete-event simulator.
+//
+// Straggler and link faults rescale op durations *before* execution; crash
+// faults are accounted *after* execution as checkpoint-restart recovery
+// cost: when a device fails at its k-th compute op, every in-flight pass
+// since the iteration boundary is lost, the stage respawns after the
+// plan's restart cost, and the whole iteration replays. The effective
+// (degraded) iteration time is therefore
+//
+//   makespan(with stragglers) + sum over crashes (crash_time + restart).
+
+#include "src/fault/fault_plan.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/graph.hpp"
+
+namespace slim::fault {
+
+/// Rescales durations of matching ops in place. Straggler windows index
+/// each device's op sequence in program order (compute ops only for
+/// compute filters; comm ops count on the sender). Jitter draws from an
+/// Rng keyed by (plan.seed, device, op index), so the transformation is a
+/// pure function of (graph, plan). Returns the extra seconds injected and
+/// records one event per affected device into `report` when non-null.
+double apply_to_graph(sim::OpGraph& graph, const FaultPlan& plan,
+                      FaultReport* report);
+
+/// Checkpoint-restart accounting over an executed graph: for every crash
+/// in the plan, the lost in-flight work (time from the iteration start to
+/// the crashing op's retirement) plus the restart cost. `at_op` indexes
+/// the device's compute ops and clamps to the last one. Returns the total
+/// overhead in seconds and records Crash events into `report`.
+double recovery_overhead(const sim::OpGraph& graph,
+                         const sim::ExecResult& exec, const FaultPlan& plan,
+                         FaultReport* report);
+
+}  // namespace slim::fault

@@ -1,14 +1,19 @@
 #include "src/runtime/pipeline_runtime.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <deque>
 #include <limits>
+#include <mutex>
+#include <numeric>
 #include <thread>
 
 #include "src/numerics/cross_entropy.hpp"
 #include "src/numerics/norm_act.hpp"
 #include "src/util/logging.hpp"
+#include "src/util/table.hpp"
 
 namespace slim::rt {
 
@@ -28,6 +33,68 @@ struct Message {
   int shard = 0;        // sender shard for VocabStats / VocabDx
   int stage = 0;        // global stage index (interleaving routes by it)
   num::Tensor payload;  // activation / gradient / packed scalars
+};
+
+/// Thrown when a FaultPlan stage crash fires; the recovery path catches it
+/// and respawns the stage.
+struct InjectedCrash : std::runtime_error {
+  InjectedCrash(int stage_, std::int64_t at_message_)
+      : std::runtime_error("injected crash at stage " +
+                           std::to_string(stage_) + " after message " +
+                           std::to_string(at_message_)),
+        stage(stage_),
+        at_message(at_message_) {}
+  int stage;
+  std::int64_t at_message;
+};
+
+/// Internal unwind signal for workers poisoned during shutdown; never
+/// escapes run_iteration.
+struct WorkerAborted {};
+
+enum class StageState : int {
+  Running = 0,
+  Waiting,  // blocked in receive
+  Done,
+  Crashed,
+  Hung,
+  Aborted,  // unwound by channel poisoning
+};
+
+const char* state_name(StageState state) {
+  switch (state) {
+    case StageState::Running: return "running";
+    case StageState::Waiting: return "waiting";
+    case StageState::Done: return "done";
+    case StageState::Crashed: return "crashed";
+    case StageState::Hung: return "hung";
+    case StageState::Aborted: return "aborted";
+  }
+  return "?";
+}
+
+/// Cross-thread progress snapshot of one stage, published after every
+/// message so the watchdog can assemble the blocked-on table.
+struct StageStatus {
+  std::atomic<int> state{static_cast<int>(StageState::Running)};
+  std::atomic<std::int64_t> messages{0};
+  std::atomic<int> done_f{0};
+  std::atomic<int> done_b{0};
+  std::atomic<int> live{0};
+  std::atomic<int> peak_live{0};
+  std::atomic<int> deferred{0};
+  std::atomic<int> committed{0};
+};
+
+/// Shutdown coordination: the first failing worker records the root cause,
+/// poisons every channel and wakes hung stages; peers unwind as Aborted.
+struct Control {
+  std::atomic<bool> shutdown{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  int first_error_stage = -1;
+  std::mutex hang_mutex;
+  std::condition_variable hang_cv;
 };
 
 }  // namespace
@@ -67,6 +134,18 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
     const std::vector<std::vector<std::int64_t>>& tokens,
     const std::vector<std::vector<std::int64_t>>& targets, int n_slices,
     bool vocab_parallel) {
+  RunOptions options;
+  options.n_slices = n_slices;
+  options.vocab_parallel = vocab_parallel;
+  return run_iteration(tokens, targets, options);
+}
+
+ThreadedPipeline::Result ThreadedPipeline::run_iteration(
+    const std::vector<std::vector<std::int64_t>>& tokens,
+    const std::vector<std::vector<std::int64_t>>& targets,
+    const RunOptions& options) {
+  const int n_slices = options.n_slices;
+  const bool vocab_parallel = options.vocab_parallel;
   const int m = static_cast<int>(tokens.size());
   SLIM_CHECK(m >= 1 && targets.size() == tokens.size(), "bad microbatches");
   const std::int64_t seq = static_cast<std::int64_t>(tokens[0].size());
@@ -76,6 +155,12 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
   SLIM_CHECK(!vocab_parallel || vocab_ % p == 0,
              "vocabulary must split evenly across stages");
   const std::int64_t shard_width = vocab_parallel ? vocab_ / p : vocab_;
+  const fault::FaultPlan* plan = options.faults;
+  if (plan != nullptr) {
+    const std::vector<fault::PlanIssue> issues = validate(*plan, p);
+    SLIM_CHECK(issues.empty(),
+               "invalid fault plan:\n" + fault::render(issues));
+  }
 
   Result result;
   result.grads.embedding = num::Tensor(vocab_, dims_.hidden);
@@ -86,18 +171,26 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
   result.stats.peak_live_slices.assign(static_cast<std::size_t>(p), 0);
   result.stats.messages.assign(static_cast<std::size_t>(p), 0);
 
-  std::vector<Channel<Message>> inbox(static_cast<std::size_t>(p));
-  // Seed stage 0 with every forward slice in slice-stream order.
-  for (int mb = 0; mb < m; ++mb) {
-    for (int s = 0; s < n_slices; ++s) {
-      inbox[0].send({Message::Kind::Forward, mb, s, 0, 0, {}});
+  const int v = chunks_per_stage_;
+  const int total_stages = p * v;
+  const int head_thread = (total_stages - 1) % p;
+
+  // Global layer ids owned by each stage thread, chunk-major — the index
+  // space of the per-microbatch staged gradients.
+  std::vector<std::vector<int>> owned_layers(static_cast<std::size_t>(p));
+  for (int s = 0; s < p; ++s) {
+    for (int chunk = 0; chunk < v; ++chunk) {
+      const auto [lo, hi] =
+          stage_layers_[static_cast<std::size_t>(chunk * p + s)];
+      for (int i = lo; i < hi; ++i) {
+        owned_layers[static_cast<std::size_t>(s)].push_back(i);
+      }
     }
   }
 
-  // Tied embedding: input-side gradient owned by stage 0, output-head
-  // gradient by the last stage (or one row-shard per stage under
-  // vocabulary parallelism); summed after the join.
-  num::Tensor embed_grad_in(vocab_, dims_.hidden);
+  // Cross-attempt accumulators. Output-head gradients stay per stage shard
+  // until the final merge (one row-shard per stage under vocabulary
+  // parallelism, the full head on the head thread otherwise).
   std::vector<num::Tensor> head_shard_grad;
   for (int s = 0; s < p; ++s) {
     head_shard_grad.emplace_back(vocab_parallel ? shard_width : vocab_,
@@ -106,355 +199,710 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
   double total_loss = 0.0;
   const float slice_weight = static_cast<float>(slice_len) /
                              (static_cast<float>(seq) * static_cast<float>(m));
+  fault::FaultReport iteration_report;
 
-  const int v = chunks_per_stage_;
-  const int total_stages = p * v;
-  auto worker = [&](int stage) {
-    // This thread owns global stages stage, p+stage, 2p+stage, ...
-    std::vector<std::vector<num::Layer>> chunk_layers(
-        static_cast<std::size_t>(v));
-    for (int chunk = 0; chunk < v; ++chunk) {
-      const int global_stage = chunk * p + stage;
-      const auto [clo, chi] =
-          stage_layers_[static_cast<std::size_t>(global_stage)];
-      for (int i = clo; i < chi; ++i) {
-        chunk_layers[static_cast<std::size_t>(chunk)].emplace_back(
-            dims_, layer_weights_[static_cast<std::size_t>(i)]);
-      }
-    }
-    const int head_thread = (total_stages - 1) % p;
-    const bool is_last = stage == head_thread;
-    const std::int64_t shard_lo =
-        vocab_parallel ? stage * shard_width : 0;
-    const num::Tensor head_shard =
-        vocab_parallel ? embedding_.slice_rows(shard_lo, shard_lo + shard_width)
-                       : embedding_;
-
-    // Last-stage per-(mb, slice) state.
-    auto idx = [&](int mb, int slice) {
-      return static_cast<std::size_t>(mb * n_slices + slice);
-    };
-    std::vector<num::Tensor> head_grad(idx(m - 1, n_slices - 1) + 1);
-    std::vector<bool> head_ready(head_grad.size(), false);
-    std::vector<num::Tensor> final_input(is_last ? head_grad.size() : 0);
-    std::vector<num::Tensor> dx_sum(is_last ? head_grad.size() : 0);
-    std::vector<int> stats_seen(is_last ? head_grad.size() : 0, 0);
-    std::vector<int> dx_seen(is_last ? head_grad.size() : 0, 0);
-    std::vector<num::CeShardStats> stats_acc(
-        is_last ? head_grad.size() : 0);
-    // Shard-side stash of hidden states between the two vocabulary phases.
-    std::vector<num::Tensor> shard_hidden(
-        vocab_parallel ? head_grad.size() : 0);
-
-    // Work targets (loop until every expected action completed).
-    const int want_f = m * n_slices * v;
-    const int want_b = m * n_slices * v;
-    const int want_vocab_work = vocab_parallel ? m * n_slices : 0;
-    const int want_vocab_global = vocab_parallel ? m * n_slices : 0;
-    int done_f = 0, done_b = 0, done_vw = 0, done_vg = 0;
-
-    auto slice_targets_of = [&](int mb, int slice) {
-      const std::int64_t pos = static_cast<std::int64_t>(slice) * slice_len;
-      return std::vector<std::int64_t>(
-          targets[static_cast<std::size_t>(mb)].begin() + pos,
-          targets[static_cast<std::size_t>(mb)].begin() + pos + slice_len);
-    };
-
-    int live = 0, peak_live = 0;
-    int mb_min = 0;
-    std::vector<int> b_done(static_cast<std::size_t>(m), 0);
-    std::int64_t messages = 0;
-    // SlimPipe's warm-up window (Eq. 1): stage r holds at most
-    // n + 2(p-1-r) live slices; excess forwards wait here until a backward
-    // frees a slot. This is what gives the runtime its bounded footprint.
-    const int live_cap = n_slices * v + 2 * (p - 1 - stage);
-    std::deque<Message> deferred;
-    while (done_f < want_f || done_b < want_b || done_vw < want_vocab_work ||
-           done_vg < want_vocab_global) {
-      // Oldest microbatch not yet fully retired on this thread: its
-      // forwards are always admitted (they are upstream of the backwards
-      // that drain the window), so the throttle can never deadlock.
-      while (mb_min < m && b_done[static_cast<std::size_t>(mb_min)] ==
-                               n_slices * v) {
-        ++mb_min;
-      }
-      Message msg;
-      bool have = false;
-      if (!deferred.empty() &&
-          (live < live_cap || deferred.front().mb == mb_min)) {
-        msg = std::move(deferred.front());
-        deferred.pop_front();
-        have = true;
-      }
-      while (!have) {
-        auto received = inbox[static_cast<std::size_t>(stage)].receive_for(
-            std::chrono::seconds(30));
-        SLIM_CHECK(received.has_value(),
-                   "pipeline stage " + std::to_string(stage) +
-                       " starved: f=" + std::to_string(done_f) + "/" +
-                       std::to_string(want_f) + " b=" +
-                       std::to_string(done_b) + "/" +
-                       std::to_string(want_b) + " live=" +
-                       std::to_string(live) + " cap=" +
-                       std::to_string(live_cap));
-        ++messages;
-        // Eq. 1's warm-up window: park forwards of *younger* microbatches
-        // while the window is full.
-        if (received->kind == Message::Kind::Forward &&
-            received->mb != mb_min && live >= live_cap) {
-          deferred.push_back(std::move(*received));
-          continue;
-        }
-        msg = std::move(*received);
-        have = true;
-      }
-      switch (msg.kind) {
-        case Message::Kind::Forward: {
-          ++done_f;
-          ++live;
-          peak_live = std::max(peak_live, live);
-          const std::int64_t pos =
-              static_cast<std::int64_t>(msg.slice) * slice_len;
-          num::Tensor x;
-          if (msg.stage == 0) {
-            x = num::Tensor(slice_len, dims_.hidden);
-            const auto& ids = tokens[static_cast<std::size_t>(msg.mb)];
-            for (std::int64_t r = 0; r < slice_len; ++r) {
-              const std::int64_t id = ids[static_cast<std::size_t>(pos + r)];
-              for (std::int64_t c = 0; c < dims_.hidden; ++c) {
-                x.at(r, c) = embedding_.at(id, c);
-              }
-            }
-          } else {
-            x = std::move(msg.payload);
-          }
-          for (num::Layer& layer :
-               chunk_layers[static_cast<std::size_t>(msg.stage / p)]) {
-            x = layer.forward_slice(x, pos, msg.mb);
-          }
-          if (msg.stage + 1 < total_stages) {
-            inbox[static_cast<std::size_t>((msg.stage + 1) % p)].send(
-                {Message::Kind::Forward, msg.mb, msg.slice, 0, msg.stage + 1,
-                 std::move(x)});
-            break;
-          }
-          const num::Tensor hidden = num::rmsnorm(x, final_norm_);
-          if (vocab_parallel) {
-            // Phase 1: broadcast the hidden states to every shard.
-            final_input[idx(msg.mb, msg.slice)] = std::move(x);
-            for (int s = 0; s < p; ++s) {
-              inbox[static_cast<std::size_t>(s)].send(
-                  {Message::Kind::VocabWork, msg.mb, msg.slice, 0, 0, hidden});
-            }
-          } else {
-            const num::Tensor logits = num::matmul_nt(hidden, embedding_);
-            num::CeResult ce = num::cross_entropy(
-                logits, slice_targets_of(msg.mb, msg.slice));
-            total_loss += ce.loss * slice_weight * static_cast<double>(m);
-            for (std::int64_t i = 0; i < ce.dlogits.size(); ++i) {
-              ce.dlogits.data()[i] *= slice_weight;
-            }
-            head_shard_grad[static_cast<std::size_t>(stage)].add_(
-                num::matmul_tn(ce.dlogits, hidden));
-            const num::Tensor dhidden = num::matmul(ce.dlogits, embedding_);
-            head_grad[idx(msg.mb, msg.slice)] = num::rmsnorm_bwd(
-                x, final_norm_, dhidden, result.grads.final_norm);
-            head_ready[idx(msg.mb, msg.slice)] = true;
-            if (msg.slice == n_slices - 1) {
-              inbox[static_cast<std::size_t>(stage)].send_front(
-                  {Message::Kind::Backward, msg.mb, msg.slice, 0,
-                   total_stages - 1, {}});
-            }
-          }
-          break;
-        }
-        case Message::Kind::Backward: {
-          const bool head_edge = msg.stage == total_stages - 1;
-          if (head_edge && !head_ready[idx(msg.mb, msg.slice)]) {
-            // The vocabulary rounds for this slice have not finished yet;
-            // revisit after processing more messages.
-            inbox[static_cast<std::size_t>(stage)].send(std::move(msg));
-            std::this_thread::yield();
-            break;
-          }
-          ++done_b;
-          --live;
-          ++b_done[static_cast<std::size_t>(msg.mb)];
-          num::Tensor dx = head_edge
-                               ? std::move(head_grad[idx(msg.mb, msg.slice)])
-                               : std::move(msg.payload);
-          auto& layers =
-              chunk_layers[static_cast<std::size_t>(msg.stage / p)];
-          const int clo =
-              stage_layers_[static_cast<std::size_t>(msg.stage)].first;
-          for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
-            const std::size_t global = static_cast<std::size_t>(
-                clo + static_cast<int>(layers.rend() - it) - 1);
-            dx = it->backward_slice(dx, result.grads.layers[global], msg.mb);
-          }
-          if (msg.stage > 0) {
-            inbox[static_cast<std::size_t>((msg.stage - 1 + p) % p)].send(
-                {Message::Kind::Backward, msg.mb, msg.slice, 0, msg.stage - 1,
-                 std::move(dx)});
-          } else {
-            const auto& ids = tokens[static_cast<std::size_t>(msg.mb)];
-            const std::int64_t pos =
-                static_cast<std::int64_t>(msg.slice) * slice_len;
-            for (std::int64_t r = 0; r < slice_len; ++r) {
-              const std::int64_t id = ids[static_cast<std::size_t>(pos + r)];
-              for (std::int64_t c = 0; c < dims_.hidden; ++c) {
-                embed_grad_in.at(id, c) += dx.at(r, c);
-              }
-            }
-          }
-          if (head_edge && msg.slice > 0) {
-            inbox[static_cast<std::size_t>(stage)].send_front(
-                {Message::Kind::Backward, msg.mb, msg.slice - 1, 0,
-                 total_stages - 1, {}});
-          }
-          break;
-        }
-        case Message::Kind::VocabWork: {
-          ++done_vw;
-          // Shard pass 1: local logits -> per-token scalar statistics.
-          const num::Tensor& hidden = msg.payload;
-          const num::Tensor logits = num::matmul_nt(hidden, head_shard);
-          const num::CeShardStats st = num::ce_shard_stats(
-              logits, shard_lo, slice_targets_of(msg.mb, msg.slice));
-          num::Tensor packed(3, slice_len);
-          for (std::int64_t i = 0; i < slice_len; ++i) {
-            packed.at(0, i) = st.max_logit[static_cast<std::size_t>(i)];
-            packed.at(1, i) = st.sum_exp[static_cast<std::size_t>(i)];
-            packed.at(2, i) = st.target_logit[static_cast<std::size_t>(i)];
-          }
-          shard_hidden[idx(msg.mb, msg.slice)] = hidden;
-          inbox[static_cast<std::size_t>(head_thread)].send(
-              {Message::Kind::VocabStats, msg.mb, msg.slice, stage, 0,
-               std::move(packed)});
-          break;
-        }
-        case Message::Kind::VocabStats: {
-          // Last stage: synchronize the scalars across shards.
-          const std::size_t i = idx(msg.mb, msg.slice);
-          num::CeShardStats& acc = stats_acc[i];
-          if (stats_seen[i] == 0) {
-            acc.max_logit.assign(static_cast<std::size_t>(slice_len),
-                                 -std::numeric_limits<float>::infinity());
-            acc.sum_exp.assign(static_cast<std::size_t>(slice_len), 0.0f);
-            acc.target_logit.assign(
-                static_cast<std::size_t>(slice_len),
-                -std::numeric_limits<float>::infinity());
-          }
-          // Numerically: combine as running (max, rescaled sum).
-          for (std::int64_t t = 0; t < slice_len; ++t) {
-            const std::size_t ti = static_cast<std::size_t>(t);
-            const float sm = msg.payload.at(0, t);
-            const float ss = msg.payload.at(1, t);
-            const float stl = msg.payload.at(2, t);
-            const float gmax = std::max(acc.max_logit[ti], sm);
-            float gsum = 0.0f;
-            if (acc.sum_exp[ti] > 0.0f) {
-              gsum += acc.sum_exp[ti] * std::exp(acc.max_logit[ti] - gmax);
-            }
-            if (ss > 0.0f) gsum += ss * std::exp(sm - gmax);
-            acc.max_logit[ti] = gmax;
-            acc.sum_exp[ti] = gsum;
-            acc.target_logit[ti] = std::max(acc.target_logit[ti], stl);
-          }
-          if (++stats_seen[i] == p) {
-            // Loss from the synchronized scalars; broadcast them back.
-            double loss = 0.0;
-            num::Tensor global(2, slice_len);
-            for (std::int64_t t = 0; t < slice_len; ++t) {
-              const std::size_t ti = static_cast<std::size_t>(t);
-              loss += std::log(acc.sum_exp[ti]) + acc.max_logit[ti] -
-                      acc.target_logit[ti];
-              global.at(0, t) = acc.max_logit[ti];
-              global.at(1, t) = acc.sum_exp[ti];
-            }
-            total_loss += loss / static_cast<double>(slice_len) *
-                          slice_weight * static_cast<double>(m);
-            for (int s = 0; s < p; ++s) {
-              inbox[static_cast<std::size_t>(s)].send(
-                  {Message::Kind::VocabGlobal, msg.mb, msg.slice, 0, 0,
-                   global});
-            }
-          }
-          break;
-        }
-        case Message::Kind::VocabGlobal: {
-          ++done_vg;
-          // Shard pass 2: gradient of the shard's logits from the global
-          // statistics; return the partial d(hidden).
-          const std::size_t i = idx(msg.mb, msg.slice);
-          const num::Tensor hidden = std::move(shard_hidden[i]);
-          const num::Tensor logits = num::matmul_nt(hidden, head_shard);
-          const auto slice_targets = slice_targets_of(msg.mb, msg.slice);
-          num::Tensor dlogits(slice_len, shard_width);
-          for (std::int64_t t = 0; t < slice_len; ++t) {
-            const float gmax = msg.payload.at(0, t);
-            const float gsum = msg.payload.at(1, t);
-            const std::int64_t y =
-                slice_targets[static_cast<std::size_t>(t)] - shard_lo;
-            for (std::int64_t ccol = 0; ccol < shard_width; ++ccol) {
-              const float prob =
-                  std::exp(logits.at(t, ccol) - gmax) / gsum;
-              // Mean over the slice's tokens, then the slice's share of
-              // the iteration mean — matching the monolithic head exactly.
-              dlogits.at(t, ccol) = (prob - (ccol == y ? 1.0f : 0.0f)) *
-                                    (slice_weight /
-                                     static_cast<float>(slice_len));
-            }
-          }
-          head_shard_grad[static_cast<std::size_t>(stage)].add_(
-              num::matmul_tn(dlogits, hidden));
-          num::Tensor dx_part = num::matmul(dlogits, head_shard);
-          inbox[static_cast<std::size_t>(head_thread)].send(
-              {Message::Kind::VocabDx, msg.mb, msg.slice, stage, 0,
-               std::move(dx_part)});
-          break;
-        }
-        case Message::Kind::VocabDx: {
-          // Last stage: reduce the shards' partial d(hidden).
-          const std::size_t i = idx(msg.mb, msg.slice);
-          if (dx_seen[i] == 0) {
-            dx_sum[i] = std::move(msg.payload);
-          } else {
-            dx_sum[i].add_(msg.payload);
-          }
-          if (++dx_seen[i] == p) {
-            head_grad[i] = num::rmsnorm_bwd(final_input[i], final_norm_,
-                                            dx_sum[i],
-                                            result.grads.final_norm);
-            head_ready[i] = true;
-            final_input[i] = {};
-            dx_sum[i] = {};
-            if (msg.slice == n_slices - 1) {
-              inbox[static_cast<std::size_t>(stage)].send_front(
-                  {Message::Kind::Backward, msg.mb, msg.slice, 0,
-                   total_stages - 1, {}});
-            }
-          }
-          break;
-        }
-      }
-    }
-    for (const auto& chunk : chunk_layers) {
-      for (const num::Layer& layer : chunk) {
-        SLIM_CHECK(layer.live_slices() == 0 && layer.cache_chunks() == 0,
-                   "stage leaked slices/chunks");
-      }
-    }
-    result.stats.peak_live_slices[static_cast<std::size_t>(stage)] = peak_live;
-    result.stats.messages[static_cast<std::size_t>(stage)] = messages;
+  /// Worker-local staged contribution of one (stage, microbatch) pair.
+  /// Committed (merged into the result) only when the microbatch fully
+  /// retired — a crash mid-iteration discards exactly the partial work.
+  struct MbStage {
+    std::vector<num::LayerGrads> layers;  // indexed like owned_layers[stage]
+    num::Tensor embed_in;     // input-side embedding grads (stage 0)
+    num::Tensor head_shard;   // output-head shard grads
+    num::Tensor final_norm;   // final-norm grads (head thread)
+    double loss = 0.0;
+    bool complete = false;
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(p));
-  for (int s = 0; s < p; ++s) threads.emplace_back(worker, s);
-  for (std::thread& t : threads) t.join();
+  struct AttemptOutcome {
+    bool crashed = false;
+    int crashed_stage = -1;
+    std::vector<bool> committed;  // by rank within the attempt's mb list
+  };
 
-  result.grads.embedding.add_(embed_grad_in);
+  // ---- one pipeline attempt over a subset of the microbatches ----
+  // `mbs` is ascending; `inject` arms the plan's runtime faults (the replay
+  // attempt after a crash runs with them disarmed — the respawned stage).
+  auto run_attempt = [&](const std::vector<int>& mbs,
+                         bool inject) -> AttemptOutcome {
+    const int mk = static_cast<int>(mbs.size());
+    SLIM_CHECK(mk >= 1, "attempt without microbatches");
+    std::vector<int> rank_of(static_cast<std::size_t>(m), -1);
+    for (int r = 0; r < mk; ++r) {
+      rank_of[static_cast<std::size_t>(mbs[static_cast<std::size_t>(r)])] = r;
+    }
+
+    std::vector<Channel<Message>> inbox(static_cast<std::size_t>(p));
+    // Seed stage 0 with every forward slice in slice-stream order.
+    for (const int mb : mbs) {
+      for (int s = 0; s < n_slices; ++s) {
+        inbox[0].send({Message::Kind::Forward, mb, s, 0, 0, {}});
+      }
+    }
+
+    std::vector<std::vector<MbStage>> staged(static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+      staged[static_cast<std::size_t>(s)].resize(
+          static_cast<std::size_t>(mk));
+    }
+    std::vector<StageStatus> statuses(static_cast<std::size_t>(p));
+    std::vector<std::vector<fault::FaultEvent>> stage_events(
+        static_cast<std::size_t>(p));
+    Control ctrl;
+
+    auto request_shutdown = [&] {
+      {
+        std::lock_guard<std::mutex> lock(ctrl.hang_mutex);
+        ctrl.shutdown.store(true);
+      }
+      for (Channel<Message>& channel : inbox) channel.close();
+      ctrl.hang_cv.notify_all();
+    };
+
+    const int want_f_per_stage = mk * n_slices * v;
+    const int want_b_per_stage = mk * n_slices * v;
+
+    // The watchdog's deadlock report: a snapshot of every stage's progress
+    // and blocked-on state, assembled lock-free from the published atomics.
+    auto blocked_table = [&]() -> std::string {
+      Table table({"stage", "state", "messages", "fwd", "bwd", "live", "cap",
+                   "deferred", "committed mbs"});
+      for (int s = 0; s < p; ++s) {
+        const StageStatus& st = statuses[static_cast<std::size_t>(s)];
+        const int cap = n_slices * v + 2 * (p - 1 - s);
+        table.add_row(
+            {std::to_string(s),
+             state_name(static_cast<StageState>(st.state.load())),
+             std::to_string(st.messages.load()),
+             std::to_string(st.done_f.load()) + "/" +
+                 std::to_string(want_f_per_stage),
+             std::to_string(st.done_b.load()) + "/" +
+                 std::to_string(want_b_per_stage),
+             std::to_string(st.live.load()), std::to_string(cap),
+             std::to_string(st.deferred.load()),
+             std::to_string(st.committed.load()) + "/" + std::to_string(mk)});
+      }
+      return table.to_string();
+    };
+
+    auto worker_body = [&](int stage) {
+      StageStatus& status = statuses[static_cast<std::size_t>(stage)];
+      std::vector<MbStage>& stage_staged =
+          staged[static_cast<std::size_t>(stage)];
+      std::vector<fault::FaultEvent>& events =
+          stage_events[static_cast<std::size_t>(stage)];
+
+      // This thread owns global stages stage, p+stage, 2p+stage, ...
+      std::vector<std::vector<num::Layer>> chunk_layers(
+          static_cast<std::size_t>(v));
+      std::vector<int> local_of_global(
+          static_cast<std::size_t>(layers_total_), -1);
+      {
+        int local = 0;
+        for (int chunk = 0; chunk < v; ++chunk) {
+          const int global_stage = chunk * p + stage;
+          const auto [clo, chi] =
+              stage_layers_[static_cast<std::size_t>(global_stage)];
+          for (int i = clo; i < chi; ++i) {
+            chunk_layers[static_cast<std::size_t>(chunk)].emplace_back(
+                dims_, layer_weights_[static_cast<std::size_t>(i)]);
+            local_of_global[static_cast<std::size_t>(i)] = local++;
+          }
+        }
+      }
+      const bool is_last = stage == head_thread;
+      const std::int64_t shard_lo =
+          vocab_parallel ? stage * shard_width : 0;
+      const num::Tensor head_shard =
+          vocab_parallel
+              ? embedding_.slice_rows(shard_lo, shard_lo + shard_width)
+              : embedding_;
+
+      // Per-microbatch staging buffers (committed at retirement).
+      const std::size_t owned =
+          owned_layers[static_cast<std::size_t>(stage)].size();
+      for (MbStage& mb_stage : stage_staged) {
+        for (std::size_t i = 0; i < owned; ++i) {
+          mb_stage.layers.push_back(num::LayerGrads::zeros(dims_));
+        }
+        if (stage == 0) mb_stage.embed_in = num::Tensor(vocab_, dims_.hidden);
+        if (vocab_parallel || is_last) {
+          mb_stage.head_shard =
+              num::Tensor(vocab_parallel ? shard_width : vocab_, dims_.hidden);
+        }
+        if (is_last) mb_stage.final_norm = num::Tensor(1, dims_.hidden);
+      }
+
+      // Last-stage per-(rank, slice) state.
+      auto idx = [&](int mb, int slice) {
+        return static_cast<std::size_t>(
+            rank_of[static_cast<std::size_t>(mb)] * n_slices + slice);
+      };
+      const std::size_t slots = static_cast<std::size_t>(mk * n_slices);
+      std::vector<num::Tensor> head_grad(slots);
+      std::vector<bool> head_ready(head_grad.size(), false);
+      std::vector<num::Tensor> final_input(is_last ? head_grad.size() : 0);
+      std::vector<num::Tensor> dx_sum(is_last ? head_grad.size() : 0);
+      std::vector<int> stats_seen(is_last ? head_grad.size() : 0, 0);
+      std::vector<int> dx_seen(is_last ? head_grad.size() : 0, 0);
+      std::vector<num::CeShardStats> stats_acc(
+          is_last ? head_grad.size() : 0);
+      // Shard-side stash of hidden states between the two vocabulary phases.
+      std::vector<num::Tensor> shard_hidden(
+          vocab_parallel ? head_grad.size() : 0);
+
+      // Work targets (loop until every expected action completed).
+      const int want_f = want_f_per_stage;
+      const int want_b = want_b_per_stage;
+      const int want_vocab_work = vocab_parallel ? mk * n_slices : 0;
+      const int want_vocab_global = vocab_parallel ? mk * n_slices : 0;
+      int done_f = 0, done_b = 0, done_vw = 0, done_vg = 0;
+
+      auto slice_targets_of = [&](int mb, int slice) {
+        const std::int64_t pos = static_cast<std::int64_t>(slice) * slice_len;
+        return std::vector<std::int64_t>(
+            targets[static_cast<std::size_t>(mb)].begin() + pos,
+            targets[static_cast<std::size_t>(mb)].begin() + pos + slice_len);
+      };
+
+      // Runtime fault hooks, armed only on the injecting attempt.
+      std::int64_t crash_at = -1, hang_at = -1;
+      std::int64_t delay_every = 0;
+      double delay_seconds = 0.0;
+      if (inject && plan != nullptr) {
+        for (const fault::StageCrash& crash : plan->stage_crashes) {
+          if (crash.stage == stage) crash_at = crash.after_messages;
+        }
+        for (const fault::StageHang& hang : plan->stage_hangs) {
+          if (hang.stage == stage) hang_at = hang.after_messages;
+        }
+        for (const fault::MessageDelay& delay : plan->delays) {
+          if (delay.stage == -1 || delay.stage == stage) {
+            delay_every = delay.every;
+            delay_seconds = delay.seconds;
+          }
+        }
+      }
+      bool delay_logged = false;
+
+      int live = 0, peak_live = 0;
+      int mb_min = 0;  // index into mbs (oldest unretired microbatch)
+      std::vector<int> b_done(static_cast<std::size_t>(mk), 0);
+      std::int64_t messages = 0;
+      // SlimPipe's warm-up window (Eq. 1): stage r holds at most
+      // n + 2(p-1-r) live slices; excess forwards wait here until a backward
+      // frees a slot. This is what gives the runtime its bounded footprint.
+      const int live_cap = n_slices * v + 2 * (p - 1 - stage);
+      std::deque<Message> deferred;
+      while (done_f < want_f || done_b < want_b || done_vw < want_vocab_work ||
+             done_vg < want_vocab_global) {
+        if (ctrl.shutdown.load(std::memory_order_relaxed)) {
+          throw WorkerAborted{};
+        }
+        // Oldest microbatch not yet fully retired on this thread: its
+        // forwards are always admitted (they are upstream of the backwards
+        // that drain the window), so the throttle can never deadlock.
+        while (mb_min < mk && b_done[static_cast<std::size_t>(mb_min)] ==
+                                  n_slices * v) {
+          ++mb_min;
+        }
+        const int admitted_mb =
+            mb_min < mk ? mbs[static_cast<std::size_t>(mb_min)] : -1;
+        Message msg;
+        bool have = false;
+        if (!deferred.empty() &&
+            (live < live_cap || deferred.front().mb == admitted_mb)) {
+          msg = std::move(deferred.front());
+          deferred.pop_front();
+          status.deferred.store(static_cast<int>(deferred.size()));
+          have = true;
+        }
+        while (!have) {
+          status.state.store(static_cast<int>(StageState::Waiting));
+          Message received;
+          const RecvStatus recv =
+              inbox[static_cast<std::size_t>(stage)].receive_status_for(
+                  options.starvation_timeout, received);
+          status.state.store(static_cast<int>(StageState::Running));
+          if (recv == RecvStatus::Closed) throw WorkerAborted{};
+          if (recv == RecvStatus::Timeout) {
+            // Watchdog: this stage starved. Snapshot every stage's
+            // blocked-on state and fail the iteration with the table.
+            fault::FaultReport report;
+            report.events.push_back(
+                {fault::FaultEvent::Kind::Watchdog, stage, 0.0, messages,
+                 "starved: f=" + std::to_string(done_f) + "/" +
+                     std::to_string(want_f) + " b=" + std::to_string(done_b) +
+                     "/" + std::to_string(want_b) + " live=" +
+                     std::to_string(live) + " cap=" +
+                     std::to_string(live_cap)});
+            report.blocked_table = blocked_table();
+            throw PipelineError(
+                "pipeline stage " + std::to_string(stage) +
+                    " starved for " +
+                    std::to_string(options.starvation_timeout.count()) +
+                    " ms; blocked-on state:\n" + report.blocked_table,
+                std::move(report));
+          }
+          ++messages;
+          status.messages.store(messages);
+          if (hang_at > 0 && messages == hang_at) {
+            // The stage silently stops making progress; peers starve and
+            // the watchdog reports it. Park until the shutdown broadcast.
+            status.state.store(static_cast<int>(StageState::Hung));
+            events.push_back({fault::FaultEvent::Kind::Hang, stage, 0.0,
+                              messages, "stage stopped draining its inbox"});
+            std::unique_lock<std::mutex> lock(ctrl.hang_mutex);
+            ctrl.hang_cv.wait(lock, [&] { return ctrl.shutdown.load(); });
+            throw WorkerAborted{};
+          }
+          if (crash_at > 0 && messages == crash_at) {
+            events.push_back({fault::FaultEvent::Kind::Crash, stage, 0.0,
+                              messages,
+                              "stage worker crashed between messages"});
+            throw InjectedCrash(stage, messages);
+          }
+          if (delay_every > 0 && messages % delay_every == 0 &&
+              delay_seconds > 0.0) {
+            if (!delay_logged) {
+              events.push_back({fault::FaultEvent::Kind::Delay, stage, 0.0,
+                                messages,
+                                "sleeping " + std::to_string(delay_seconds) +
+                                    " s every " +
+                                    std::to_string(delay_every) +
+                                    " messages"});
+              delay_logged = true;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(delay_seconds));
+          }
+          // Eq. 1's warm-up window: park forwards of *younger* microbatches
+          // while the window is full.
+          if (received.kind == Message::Kind::Forward &&
+              received.mb != admitted_mb && live >= live_cap) {
+            deferred.push_back(std::move(received));
+            status.deferred.store(static_cast<int>(deferred.size()));
+            continue;
+          }
+          msg = std::move(received);
+          have = true;
+        }
+        const int rank = rank_of[static_cast<std::size_t>(msg.mb)];
+        SLIM_CHECK(rank >= 0, "message for a microbatch outside the attempt");
+        MbStage& mb_staged = stage_staged[static_cast<std::size_t>(rank)];
+        switch (msg.kind) {
+          case Message::Kind::Forward: {
+            ++done_f;
+            status.done_f.store(done_f);
+            ++live;
+            status.live.store(live);
+            peak_live = std::max(peak_live, live);
+            status.peak_live.store(peak_live);
+            const std::int64_t pos =
+                static_cast<std::int64_t>(msg.slice) * slice_len;
+            num::Tensor x;
+            if (msg.stage == 0) {
+              x = num::Tensor(slice_len, dims_.hidden);
+              const auto& ids = tokens[static_cast<std::size_t>(msg.mb)];
+              for (std::int64_t r = 0; r < slice_len; ++r) {
+                const std::int64_t id = ids[static_cast<std::size_t>(pos + r)];
+                for (std::int64_t c = 0; c < dims_.hidden; ++c) {
+                  x.at(r, c) = embedding_.at(id, c);
+                }
+              }
+            } else {
+              x = std::move(msg.payload);
+            }
+            for (num::Layer& layer :
+                 chunk_layers[static_cast<std::size_t>(msg.stage / p)]) {
+              x = layer.forward_slice(x, pos, msg.mb);
+            }
+            if (msg.stage + 1 < total_stages) {
+              inbox[static_cast<std::size_t>((msg.stage + 1) % p)].send(
+                  {Message::Kind::Forward, msg.mb, msg.slice, 0, msg.stage + 1,
+                   std::move(x)});
+              break;
+            }
+            const num::Tensor hidden = num::rmsnorm(x, final_norm_);
+            if (vocab_parallel) {
+              // Phase 1: broadcast the hidden states to every shard.
+              final_input[idx(msg.mb, msg.slice)] = std::move(x);
+              for (int s = 0; s < p; ++s) {
+                inbox[static_cast<std::size_t>(s)].send(
+                    {Message::Kind::VocabWork, msg.mb, msg.slice, 0, 0,
+                     hidden});
+              }
+            } else {
+              const num::Tensor logits = num::matmul_nt(hidden, embedding_);
+              num::CeResult ce = num::cross_entropy(
+                  logits, slice_targets_of(msg.mb, msg.slice));
+              mb_staged.loss +=
+                  ce.loss * slice_weight * static_cast<double>(m);
+              for (std::int64_t i = 0; i < ce.dlogits.size(); ++i) {
+                ce.dlogits.data()[i] *= slice_weight;
+              }
+              mb_staged.head_shard.add_(num::matmul_tn(ce.dlogits, hidden));
+              const num::Tensor dhidden = num::matmul(ce.dlogits, embedding_);
+              head_grad[idx(msg.mb, msg.slice)] = num::rmsnorm_bwd(
+                  x, final_norm_, dhidden, mb_staged.final_norm);
+              head_ready[idx(msg.mb, msg.slice)] = true;
+              if (msg.slice == n_slices - 1) {
+                inbox[static_cast<std::size_t>(stage)].send_front(
+                    {Message::Kind::Backward, msg.mb, msg.slice, 0,
+                     total_stages - 1, {}});
+              }
+            }
+            break;
+          }
+          case Message::Kind::Backward: {
+            const bool head_edge = msg.stage == total_stages - 1;
+            if (head_edge && !head_ready[idx(msg.mb, msg.slice)]) {
+              // The vocabulary rounds for this slice have not finished yet;
+              // revisit after processing more messages.
+              inbox[static_cast<std::size_t>(stage)].send(std::move(msg));
+              std::this_thread::yield();
+              break;
+            }
+            ++done_b;
+            status.done_b.store(done_b);
+            --live;
+            status.live.store(live);
+            ++b_done[static_cast<std::size_t>(rank)];
+            num::Tensor dx = head_edge
+                                 ? std::move(head_grad[idx(msg.mb, msg.slice)])
+                                 : std::move(msg.payload);
+            auto& layers =
+                chunk_layers[static_cast<std::size_t>(msg.stage / p)];
+            const int clo =
+                stage_layers_[static_cast<std::size_t>(msg.stage)].first;
+            for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+              const std::size_t global = static_cast<std::size_t>(
+                  clo + static_cast<int>(layers.rend() - it) - 1);
+              const int local = local_of_global[global];
+              dx = it->backward_slice(
+                  dx, mb_staged.layers[static_cast<std::size_t>(local)],
+                  msg.mb);
+            }
+            if (msg.stage > 0) {
+              inbox[static_cast<std::size_t>((msg.stage - 1 + p) % p)].send(
+                  {Message::Kind::Backward, msg.mb, msg.slice, 0,
+                   msg.stage - 1, std::move(dx)});
+            } else {
+              const auto& ids = tokens[static_cast<std::size_t>(msg.mb)];
+              const std::int64_t pos =
+                  static_cast<std::int64_t>(msg.slice) * slice_len;
+              for (std::int64_t r = 0; r < slice_len; ++r) {
+                const std::int64_t id = ids[static_cast<std::size_t>(pos + r)];
+                for (std::int64_t c = 0; c < dims_.hidden; ++c) {
+                  mb_staged.embed_in.at(id, c) += dx.at(r, c);
+                }
+              }
+            }
+            if (b_done[static_cast<std::size_t>(rank)] == n_slices * v) {
+              // Microbatch retired on this stage: its staged gradients are
+              // final and survive a later crash (commit point).
+              mb_staged.complete = true;
+              status.committed.fetch_add(1);
+            }
+            if (head_edge && msg.slice > 0) {
+              inbox[static_cast<std::size_t>(stage)].send_front(
+                  {Message::Kind::Backward, msg.mb, msg.slice - 1, 0,
+                   total_stages - 1, {}});
+            }
+            break;
+          }
+          case Message::Kind::VocabWork: {
+            ++done_vw;
+            // Shard pass 1: local logits -> per-token scalar statistics.
+            const num::Tensor& hidden = msg.payload;
+            const num::Tensor logits = num::matmul_nt(hidden, head_shard);
+            const num::CeShardStats st = num::ce_shard_stats(
+                logits, shard_lo, slice_targets_of(msg.mb, msg.slice));
+            num::Tensor packed(3, slice_len);
+            for (std::int64_t i = 0; i < slice_len; ++i) {
+              packed.at(0, i) = st.max_logit[static_cast<std::size_t>(i)];
+              packed.at(1, i) = st.sum_exp[static_cast<std::size_t>(i)];
+              packed.at(2, i) = st.target_logit[static_cast<std::size_t>(i)];
+            }
+            shard_hidden[idx(msg.mb, msg.slice)] = hidden;
+            inbox[static_cast<std::size_t>(head_thread)].send(
+                {Message::Kind::VocabStats, msg.mb, msg.slice, stage, 0,
+                 std::move(packed)});
+            break;
+          }
+          case Message::Kind::VocabStats: {
+            // Last stage: synchronize the scalars across shards.
+            const std::size_t i = idx(msg.mb, msg.slice);
+            num::CeShardStats& acc = stats_acc[i];
+            if (stats_seen[i] == 0) {
+              acc.max_logit.assign(static_cast<std::size_t>(slice_len),
+                                   -std::numeric_limits<float>::infinity());
+              acc.sum_exp.assign(static_cast<std::size_t>(slice_len), 0.0f);
+              acc.target_logit.assign(
+                  static_cast<std::size_t>(slice_len),
+                  -std::numeric_limits<float>::infinity());
+            }
+            // Numerically: combine as running (max, rescaled sum).
+            for (std::int64_t t = 0; t < slice_len; ++t) {
+              const std::size_t ti = static_cast<std::size_t>(t);
+              const float sm = msg.payload.at(0, t);
+              const float ss = msg.payload.at(1, t);
+              const float stl = msg.payload.at(2, t);
+              const float gmax = std::max(acc.max_logit[ti], sm);
+              float gsum = 0.0f;
+              if (acc.sum_exp[ti] > 0.0f) {
+                gsum += acc.sum_exp[ti] * std::exp(acc.max_logit[ti] - gmax);
+              }
+              if (ss > 0.0f) gsum += ss * std::exp(sm - gmax);
+              acc.max_logit[ti] = gmax;
+              acc.sum_exp[ti] = gsum;
+              acc.target_logit[ti] = std::max(acc.target_logit[ti], stl);
+            }
+            if (++stats_seen[i] == p) {
+              // Loss from the synchronized scalars; broadcast them back.
+              double loss = 0.0;
+              num::Tensor global(2, slice_len);
+              for (std::int64_t t = 0; t < slice_len; ++t) {
+                const std::size_t ti = static_cast<std::size_t>(t);
+                loss += std::log(acc.sum_exp[ti]) + acc.max_logit[ti] -
+                        acc.target_logit[ti];
+                global.at(0, t) = acc.max_logit[ti];
+                global.at(1, t) = acc.sum_exp[ti];
+              }
+              mb_staged.loss += loss / static_cast<double>(slice_len) *
+                                slice_weight * static_cast<double>(m);
+              for (int s = 0; s < p; ++s) {
+                inbox[static_cast<std::size_t>(s)].send(
+                    {Message::Kind::VocabGlobal, msg.mb, msg.slice, 0, 0,
+                     global});
+              }
+            }
+            break;
+          }
+          case Message::Kind::VocabGlobal: {
+            ++done_vg;
+            // Shard pass 2: gradient of the shard's logits from the global
+            // statistics; return the partial d(hidden).
+            const std::size_t i = idx(msg.mb, msg.slice);
+            const num::Tensor hidden = std::move(shard_hidden[i]);
+            const num::Tensor logits = num::matmul_nt(hidden, head_shard);
+            const auto slice_targets = slice_targets_of(msg.mb, msg.slice);
+            num::Tensor dlogits(slice_len, shard_width);
+            for (std::int64_t t = 0; t < slice_len; ++t) {
+              const float gmax = msg.payload.at(0, t);
+              const float gsum = msg.payload.at(1, t);
+              const std::int64_t y =
+                  slice_targets[static_cast<std::size_t>(t)] - shard_lo;
+              for (std::int64_t ccol = 0; ccol < shard_width; ++ccol) {
+                const float prob =
+                    std::exp(logits.at(t, ccol) - gmax) / gsum;
+                // Mean over the slice's tokens, then the slice's share of
+                // the iteration mean — matching the monolithic head exactly.
+                dlogits.at(t, ccol) = (prob - (ccol == y ? 1.0f : 0.0f)) *
+                                      (slice_weight /
+                                       static_cast<float>(slice_len));
+              }
+            }
+            mb_staged.head_shard.add_(num::matmul_tn(dlogits, hidden));
+            num::Tensor dx_part = num::matmul(dlogits, head_shard);
+            inbox[static_cast<std::size_t>(head_thread)].send(
+                {Message::Kind::VocabDx, msg.mb, msg.slice, stage, 0,
+                 std::move(dx_part)});
+            break;
+          }
+          case Message::Kind::VocabDx: {
+            // Last stage: reduce the shards' partial d(hidden).
+            const std::size_t i = idx(msg.mb, msg.slice);
+            if (dx_seen[i] == 0) {
+              dx_sum[i] = std::move(msg.payload);
+            } else {
+              dx_sum[i].add_(msg.payload);
+            }
+            if (++dx_seen[i] == p) {
+              head_grad[i] = num::rmsnorm_bwd(final_input[i], final_norm_,
+                                              dx_sum[i],
+                                              mb_staged.final_norm);
+              head_ready[i] = true;
+              final_input[i] = {};
+              dx_sum[i] = {};
+              if (msg.slice == n_slices - 1) {
+                inbox[static_cast<std::size_t>(stage)].send_front(
+                    {Message::Kind::Backward, msg.mb, msg.slice, 0,
+                     total_stages - 1, {}});
+              }
+            }
+            break;
+          }
+        }
+      }
+      for (const auto& chunk : chunk_layers) {
+        for (const num::Layer& layer : chunk) {
+          SLIM_CHECK(layer.live_slices() == 0 && layer.cache_chunks() == 0,
+                     "stage leaked slices/chunks");
+        }
+      }
+    };
+
+    auto worker_main = [&](int stage) {
+      StageStatus& status = statuses[static_cast<std::size_t>(stage)];
+      try {
+        worker_body(stage);
+        status.state.store(static_cast<int>(StageState::Done));
+      } catch (const WorkerAborted&) {
+        // Poisoned during shutdown — keep a Hung label if the fault hook
+        // set one (the deadlock table should show the root cause).
+        if (status.state.load() != static_cast<int>(StageState::Hung)) {
+          status.state.store(static_cast<int>(StageState::Aborted));
+        }
+      } catch (...) {
+        status.state.store(static_cast<int>(StageState::Crashed));
+        {
+          std::lock_guard<std::mutex> lock(ctrl.error_mutex);
+          if (!ctrl.first_error) {
+            ctrl.first_error = std::current_exception();
+            ctrl.first_error_stage = stage;
+          }
+        }
+        request_shutdown();
+      }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) threads.emplace_back(worker_main, s);
+    for (std::thread& t : threads) t.join();
+
+    // Fold the attempt's stats and fault events into the iteration totals.
+    for (int s = 0; s < p; ++s) {
+      const StageStatus& st = statuses[static_cast<std::size_t>(s)];
+      result.stats.messages[static_cast<std::size_t>(s)] += st.messages.load();
+      result.stats.peak_live_slices[static_cast<std::size_t>(s)] = std::max(
+          result.stats.peak_live_slices[static_cast<std::size_t>(s)],
+          st.peak_live.load());
+      for (fault::FaultEvent& event : stage_events[static_cast<std::size_t>(s)]) {
+        iteration_report.events.push_back(std::move(event));
+      }
+    }
+
+    // Merge one rank's staged contributions in deterministic (stage-major)
+    // order; called only for fully retired microbatches.
+    auto merge_rank = [&](int rank) {
+      for (int s = 0; s < p; ++s) {
+        MbStage& mb_staged = staged[static_cast<std::size_t>(s)]
+                                   [static_cast<std::size_t>(rank)];
+        const auto& owned = owned_layers[static_cast<std::size_t>(s)];
+        for (std::size_t i = 0; i < owned.size(); ++i) {
+          result.grads.layers[static_cast<std::size_t>(owned[i])].add_(
+              mb_staged.layers[i]);
+        }
+        if (mb_staged.embed_in.size() > 0) {
+          result.grads.embedding.add_(mb_staged.embed_in);
+        }
+        if (mb_staged.head_shard.size() > 0) {
+          head_shard_grad[static_cast<std::size_t>(s)].add_(
+              mb_staged.head_shard);
+        }
+        if (mb_staged.final_norm.size() > 0) {
+          result.grads.final_norm.add_(mb_staged.final_norm);
+        }
+        total_loss += mb_staged.loss;
+      }
+    };
+
+    AttemptOutcome outcome;
+    outcome.committed.assign(static_cast<std::size_t>(mk), false);
+
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> lock(ctrl.error_mutex);
+      error = ctrl.first_error;
+    }
+    if (!error) {
+      for (int rank = 0; rank < mk; ++rank) {
+        merge_rank(rank);
+        outcome.committed[static_cast<std::size_t>(rank)] = true;
+      }
+      return outcome;
+    }
+
+    try {
+      std::rethrow_exception(error);
+    } catch (const InjectedCrash& crash) {
+      if (options.recover) {
+        // Checkpoint-replay recovery: keep the microbatches that retired on
+        // every stage before the crash, discard all partial work.
+        outcome.crashed = true;
+        outcome.crashed_stage = crash.stage;
+        for (int rank = 0; rank < mk; ++rank) {
+          bool everywhere = true;
+          for (int s = 0; s < p; ++s) {
+            everywhere = everywhere &&
+                         staged[static_cast<std::size_t>(s)]
+                               [static_cast<std::size_t>(rank)]
+                                   .complete;
+          }
+          if (everywhere) {
+            merge_rank(rank);
+            outcome.committed[static_cast<std::size_t>(rank)] = true;
+          }
+        }
+        return outcome;
+      }
+      fault::FaultReport report = iteration_report;
+      report.blocked_table = blocked_table();
+      throw PipelineError(std::string(crash.what()) +
+                              " (recovery disabled); blocked-on state:\n" +
+                              report.blocked_table,
+                          std::move(report));
+    } catch (const PipelineError& pipeline_error) {
+      // Watchdog (or nested) structured failure: extend it with the
+      // attempt's injected events so the caller sees the full picture.
+      fault::FaultReport report = pipeline_error.report();
+      report.events.insert(report.events.begin(),
+                           iteration_report.events.begin(),
+                           iteration_report.events.end());
+      throw PipelineError(pipeline_error.what(), std::move(report));
+    } catch (const std::exception& exception) {
+      // Any other worker exception (SLIM_CHECK violations included): wrap
+      // into the structured form instead of terminating.
+      fault::FaultReport report = iteration_report;
+      report.blocked_table = blocked_table();
+      throw PipelineError(std::string("pipeline worker failed: ") +
+                              exception.what() + "\nblocked-on state:\n" +
+                              report.blocked_table,
+                          std::move(report));
+    }
+  };
+
+  // ---- attempt 1: all microbatches, faults armed ----
+  std::vector<int> all_mbs(static_cast<std::size_t>(m));
+  std::iota(all_mbs.begin(), all_mbs.end(), 0);
+  const bool inject = plan != nullptr && !plan->empty();
+  AttemptOutcome first = run_attempt(all_mbs, inject);
+
+  if (first.crashed) {
+    // ---- respawn + replay: the crashed stage restarts from the parameter
+    // snapshot (weights are immutable within the iteration) and the
+    // pipeline replays every microbatch that had not fully retired. ----
+    std::vector<int> replay;
+    for (int mb = 0; mb < m; ++mb) {
+      if (!first.committed[static_cast<std::size_t>(mb)]) {
+        replay.push_back(mb);
+      }
+    }
+    SLIM_CHECK(!replay.empty(),
+               "crash after full retirement should not reach recovery");
+    std::string detail = "stage " + std::to_string(first.crashed_stage) +
+                         " respawned; replaying microbatches";
+    for (const int mb : replay) detail += " " + std::to_string(mb);
+    iteration_report.events.push_back({fault::FaultEvent::Kind::Recovery,
+                                       first.crashed_stage, 0.0,
+                                       static_cast<std::int64_t>(replay.size()),
+                                       detail});
+    iteration_report.replayed_microbatches = replay;
+    result.stats.replayed_microbatches = replay;
+    run_attempt(replay, /*inject=*/false);
+  }
+
   if (vocab_parallel) {
     for (int s = 0; s < p; ++s) {
       result.grads.embedding.assign_rows(
@@ -467,9 +915,17 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
           }());
     }
   } else {
-    result.grads.embedding.add_(head_shard_grad[static_cast<std::size_t>(p - 1)]);
+    result.grads.embedding.add_(
+        head_shard_grad[static_cast<std::size_t>(head_thread)]);
   }
   result.loss = total_loss / static_cast<double>(m);
+  if (options.report != nullptr) {
+    options.report->events.insert(options.report->events.end(),
+                                  iteration_report.events.begin(),
+                                  iteration_report.events.end());
+    options.report->replayed_microbatches =
+        iteration_report.replayed_microbatches;
+  }
   return result;
 }
 

@@ -22,10 +22,14 @@
 // accumulation order) with single-threaded monolithic execution in the
 // tests — a functional proof of the whole scheme, concurrency included.
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "src/fault/fault_plan.hpp"
 #include "src/numerics/transformer_block.hpp"
 #include "src/runtime/channel.hpp"
 #include "src/util/rng.hpp"
@@ -38,6 +42,42 @@ struct PipelineStats {
   std::vector<int> peak_live_slices;
   /// Activation/gradient messages exchanged per stage boundary.
   std::vector<std::int64_t> messages;
+  /// Microbatches replayed after a stage respawn (empty when fault-free).
+  std::vector<int> replayed_microbatches;
+};
+
+/// Structured pipeline failure: what happened, on which stage, and the
+/// per-stage blocked-on table at the moment of failure. Every worker
+/// exception — injected faults, invariant violations, starvation — is
+/// captured, converted into one of these and rethrown from the parent
+/// thread after all workers joined; no failure path reaches
+/// std::terminate.
+class PipelineError : public std::runtime_error {
+ public:
+  PipelineError(const std::string& what, fault::FaultReport report)
+      : std::runtime_error(what), report_(std::move(report)) {}
+
+  const fault::FaultReport& report() const { return report_; }
+
+ private:
+  fault::FaultReport report_;
+};
+
+/// Knobs of one threaded-runtime iteration.
+struct RunOptions {
+  int n_slices = 1;
+  bool vocab_parallel = false;
+  /// Starvation probe: a stage blocked in receive for this long collects
+  /// the per-stage blocked-on table and fails the iteration (the
+  /// watchdog). Short values let fault tests probe deadlocks quickly.
+  std::chrono::milliseconds starvation_timeout{std::chrono::seconds(30)};
+  /// Runtime-substrate faults to inject (stage crashes/hangs, delays).
+  const fault::FaultPlan* faults = nullptr;
+  /// After an injected stage crash: respawn the stage from the parameter
+  /// snapshot and replay the unretired microbatches instead of failing.
+  bool recover = false;
+  /// Filled with the injected/observed fault events when set.
+  fault::FaultReport* report = nullptr;
 };
 
 /// Tied-embedding transformer split across `stages` worker threads.
@@ -70,6 +110,15 @@ class ThreadedPipeline {
   Result run_iteration(const std::vector<std::vector<std::int64_t>>& tokens,
                        const std::vector<std::vector<std::int64_t>>& targets,
                        int n_slices, bool vocab_parallel = false);
+
+  /// Full-option form: starvation watchdog, fault injection and
+  /// crash-recovery (respawn + replay of unretired microbatches). Worker
+  /// gradients are staged per microbatch and committed at microbatch
+  /// retirement, so a mid-iteration crash discards only partial work and
+  /// the recovered gradients still match run_reference.
+  Result run_iteration(const std::vector<std::vector<std::int64_t>>& tokens,
+                       const std::vector<std::vector<std::int64_t>>& targets,
+                       const RunOptions& options);
 
   /// Reference: the same parameters executed monolithically on one thread
   /// (for equivalence checks).

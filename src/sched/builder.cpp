@@ -6,6 +6,7 @@
 
 #include "src/analysis/graph_check.hpp"
 #include "src/analysis/schedule_check.hpp"
+#include "src/fault/fault_sim.hpp"
 #include "src/model/activation.hpp"
 #include "src/sim/trace.hpp"
 #include "src/util/logging.hpp"
@@ -529,13 +530,13 @@ BuildOutput compile(const PipelineSpec& spec,
   return output;
 }
 
-ScheduleResult run_pipeline(const PipelineSpec& spec,
-                            const std::vector<DeviceProgram>& programs,
-                            const ExchangeOracle* exchange,
-                            const std::string& scheme_name,
-                            bool want_timeline) {
-  BuildOutput built = compile(spec, programs, exchange);
-  const sim::ExecResult exec = sim::execute(*built.graph);
+namespace {
+
+ScheduleResult assemble_result(const PipelineSpec& spec,
+                               const BuildOutput& built,
+                               const sim::ExecResult& exec,
+                               const std::string& scheme_name,
+                               bool want_timeline) {
   const mem::MemoryReport memory =
       mem::replay_memory(*built.graph, exec, spec.p, built.baseline);
 
@@ -561,6 +562,47 @@ ScheduleResult run_pipeline(const PipelineSpec& spec,
   if (want_timeline) {
     result.ascii_timeline = sim::ascii_timeline(*built.graph, exec);
   }
+  return result;
+}
+
+}  // namespace
+
+ScheduleResult run_pipeline(const PipelineSpec& spec,
+                            const std::vector<DeviceProgram>& programs,
+                            const ExchangeOracle* exchange,
+                            const std::string& scheme_name,
+                            bool want_timeline) {
+  BuildOutput built = compile(spec, programs, exchange);
+  const sim::ExecResult exec = sim::execute(*built.graph);
+  return assemble_result(spec, built, exec, scheme_name, want_timeline);
+}
+
+ScheduleResult run_pipeline_faulted(const PipelineSpec& spec,
+                                    const std::vector<DeviceProgram>& programs,
+                                    const ExchangeOracle* exchange,
+                                    const std::string& scheme_name,
+                                    const fault::FaultPlan& faults,
+                                    fault::FaultReport* report,
+                                    bool want_timeline) {
+  {
+    const std::vector<fault::PlanIssue> issues =
+        fault::validate(faults, spec.p);
+    SLIM_CHECK(issues.empty(),
+               "invalid fault plan:\n" + fault::render(issues));
+  }
+  BuildOutput built = compile(spec, programs, exchange);
+  const double injected =
+      fault::apply_to_graph(*built.graph, faults, report);
+  const sim::ExecResult exec = sim::execute(*built.graph);
+  ScheduleResult result =
+      assemble_result(spec, built, exec, scheme_name, want_timeline);
+  const double recovery =
+      fault::recovery_overhead(*built.graph, exec, faults, report);
+  result.fault_injected_seconds = injected;
+  result.fault_recovery_seconds = recovery;
+  result.iteration_time += recovery;
+  // MFU degrades with the effective iteration time.
+  result.mfu *= exec.makespan / result.iteration_time;
   return result;
 }
 

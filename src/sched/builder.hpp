@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault_plan.hpp"
 #include "src/memory/tracker.hpp"
 #include "src/sched/schedule.hpp"
 #include "src/sim/executor.hpp"
@@ -73,6 +74,19 @@ ScheduleResult run_pipeline(const PipelineSpec& spec,
                             const ExchangeOracle* exchange,
                             const std::string& scheme_name,
                             bool want_timeline = false);
+
+/// Fault-injecting form: applies the plan to the compiled graph (straggler
+/// and link degradation) before executing, then adds the checkpoint-restart
+/// recovery cost of any device crashes. iteration_time reports the degraded
+/// total; the fault_* fields break out the two overheads. `report`, when
+/// set, collects the structured fault events.
+ScheduleResult run_pipeline_faulted(const PipelineSpec& spec,
+                                    const std::vector<DeviceProgram>& programs,
+                                    const ExchangeOracle* exchange,
+                                    const std::string& scheme_name,
+                                    const fault::FaultPlan& faults,
+                                    fault::FaultReport* report = nullptr,
+                                    bool want_timeline = false);
 
 /// Shared warmup/steady/cooldown assembly: `fwd` and `bwd` are the
 /// device-local unit orders; the first `warmup` forwards run before the

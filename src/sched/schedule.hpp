@@ -120,6 +120,11 @@ struct ScheduleResult {
   double exchange_bytes_max_device = 0.0;  // context-exchange volume
   bool oom = false;
   std::string ascii_timeline;           // filled when requested
+
+  // Fault-injection accounting (zero on fault-free runs). iteration_time
+  // already includes both components when a FaultPlan was applied.
+  double fault_injected_seconds = 0.0;  // straggler/link time added to ops
+  double fault_recovery_seconds = 0.0;  // checkpoint-restart replay cost
 };
 
 }  // namespace slim::sched

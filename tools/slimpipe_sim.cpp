@@ -18,9 +18,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "src/core/runner.hpp"
+#include "src/fault/fault_plan.hpp"
 #include "src/core/slimpipe.hpp"
 #include "src/parallel/search.hpp"
 #include "src/sched/builder.hpp"
@@ -59,6 +61,8 @@ modes
   --gpus N           world size for --search
   --timeline         print the ASCII schedule
   --trace FILE       write a Chrome trace JSON
+  --faults FILE      apply a fault plan (stragglers, link degradation,
+                     crashes with checkpoint-restart) and print the report
 )");
 }
 
@@ -98,6 +102,12 @@ void print_result(const sched::ScheduleResult& r) {
   Table table({"metric", "value"});
   table.add_row({"scheme", r.scheme});
   table.add_row({"iteration time", format_time(r.iteration_time)});
+  if (r.fault_injected_seconds > 0.0 || r.fault_recovery_seconds > 0.0) {
+    table.add_row({"fault slowdown injected",
+                   format_time(r.fault_injected_seconds)});
+    table.add_row({"crash recovery cost",
+                   format_time(r.fault_recovery_seconds)});
+  }
   table.add_row({"MFU", format_percent(r.mfu)});
   table.add_row({"bubble fraction", format_percent(r.bubble_fraction)});
   table.add_row({"peak memory", format_bytes(r.peak_memory)});
@@ -115,7 +125,7 @@ void print_result(const sched::ScheduleResult& r) {
 
 int main(int argc, char** argv) {
   std::string model_name = "13b", scheme_name = "slimpipe", ckpt = "none";
-  std::string trace_path;
+  std::string trace_path, faults_path;
   std::int64_t seq = 131072, tokens = 0, t = 8, c = 1, e = 1, d = 1;
   int p = 4, v = 1, n = 0, m = 4, gpus = 0;
   double offload = 0.0;
@@ -149,6 +159,7 @@ int main(int argc, char** argv) {
     else if (arg == "--search") search = true;
     else if (arg == "--timeline") timeline = true;
     else if (arg == "--trace") trace_path = next();
+    else if (arg == "--faults") faults_path = next();
     else if (arg == "--no-exchange") exchange = false;
     else if (arg == "--adaptive") adaptive = true;
     else if (arg == "--no-vocab-par") vocab_parallel = false;
@@ -202,8 +213,25 @@ int main(int argc, char** argv) {
   spec.adaptive_exchange = adaptive;
 
   try {
-    const auto r = core::run_scheme(scheme, spec, timeline || !trace_path.empty());
+    sched::ScheduleResult r;
+    fault::FaultReport report;
+    const bool want_timeline = timeline || !trace_path.empty();
+    if (!faults_path.empty()) {
+      std::ifstream in(faults_path);
+      if (!in) {
+        std::fprintf(stderr, "cannot read fault plan '%s'\n",
+                     faults_path.c_str());
+        return 1;
+      }
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      const fault::FaultPlan plan = fault::parse_plan(text);
+      r = core::run_scheme_faulted(scheme, spec, plan, &report, want_timeline);
+    } else {
+      r = core::run_scheme(scheme, spec, want_timeline);
+    }
     print_result(r);
+    if (!faults_path.empty()) std::printf("\n%s", report.render().c_str());
     if (timeline) std::printf("\n%s", r.ascii_timeline.c_str());
     if (!trace_path.empty() && scheme == core::Scheme::SlimPipe) {
       auto s = spec;

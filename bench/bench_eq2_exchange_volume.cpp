@@ -35,6 +35,7 @@ static void BM_Eq2Planner(benchmark::State& state) {
 BENCHMARK(BM_Eq2Planner)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  slimbench::open_report("eq2_exchange_volume");
   slimbench::print_banner(
       "Eq. 2 — context-exchange communication volume",
       "Llama 70B (GQA: KV is h/8), t=8, slices of 8K tokens",
@@ -66,7 +67,7 @@ int main(int argc, char** argv) {
                          3)});
     }
   }
-  std::printf("%s\n", table.to_string().c_str());
+  slimbench::print_table("KV exchange volume vs slice count", table);
 
   // Early-exchange ablation: measured end-to-end effect of the overlap.
   slimbench::print_banner(
@@ -95,7 +96,7 @@ int main(int argc, char** argv) {
               format_time(adaptive.iteration_time),
               format_percent(adaptive.bubble_fraction),
               format_percent(adaptive.mfu)});
-  std::printf("%s\n", ab.to_string().c_str());
+  slimbench::print_table("exchange on/off A-B", ab);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

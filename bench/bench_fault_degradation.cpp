@@ -107,6 +107,7 @@ static void BM_FaultDegradation(benchmark::State& state) {
 BENCHMARK(BM_FaultDegradation)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  slimbench::open_report("fault_degradation");
   slimbench::print_banner(
       "Fault degradation — scheme robustness under a shared fault plan",
       "Llama 13B, t=8, p=4, m=8, 64K context; straggler x1.3, transient "
@@ -133,7 +134,7 @@ int main(int argc, char** argv) {
     }
     table.add_separator();
   }
-  std::printf("%s\n", table.to_string().c_str());
+  slimbench::print_table("throughput degradation under faults", table);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

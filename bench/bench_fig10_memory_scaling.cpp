@@ -47,6 +47,7 @@ static void BM_Figure10(benchmark::State& state) {
 BENCHMARK(BM_Figure10)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  slimbench::open_report("fig10_memory_scaling");
   slimbench::print_banner(
       "Figure 10 — memory reduced by the PP size",
       "Llama 13B, t=8, sequences 32K/64K/96K, p from 2 to 8, maximum "
@@ -68,7 +69,7 @@ int main(int argc, char** argv) {
     }
     table.add_separator();
   }
-  std::printf("%s\n", table.to_string().c_str());
+  slimbench::print_table("peak memory scaling with context", table);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

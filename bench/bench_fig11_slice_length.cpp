@@ -29,6 +29,7 @@ static void BM_Figure11(benchmark::State& state) {
 BENCHMARK(BM_Figure11)->Arg(4)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  slimbench::open_report("fig11_slice_length");
   slimbench::print_banner(
       "Figure 11 — MFU vs number of slices per sequence",
       "Llama 13B, t=8, p=4, v=5, m=2, full checkpointing, contexts "
@@ -47,7 +48,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(row);
   }
-  std::printf("%s\n", table.to_string().c_str());
+  slimbench::print_table("slice length sensitivity", table);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

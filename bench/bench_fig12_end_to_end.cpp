@@ -73,6 +73,7 @@ static void BM_Fig12Cell(benchmark::State& state) {
 BENCHMARK(BM_Fig12Cell)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  slimbench::open_report("fig12_end_to_end");
   slimbench::print_banner(
       "Figure 12 — end-to-end MFU: DeepSpeed vs Megatron-LM vs SlimPipe",
       "4M tokens/iteration, grid-searched configurations per cell; "
@@ -99,7 +100,7 @@ int main(int argc, char** argv) {
         table.add_row({format_context(seq), cell.deepspeed, cell.megatron,
                        cell.slimpipe, cell.speedup, cell.slim_cfg});
       }
-      std::printf("%d GPUs:\n%s\n", gpus, table.to_string().c_str());
+      slimbench::print_table(std::to_string(gpus) + " GPUs end-to-end", table);
     }
   }
 

@@ -48,6 +48,7 @@ static void BM_Fig13(benchmark::State& state) {
 BENCHMARK(BM_Fig13)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  slimbench::open_report("fig13_scheme_mfu");
   slimbench::print_banner(
       "Figure 13 — MFU across PP schemes vs context length",
       "Llama 13B, batch 4, t=8, p=4, full checkpointing, v=5 for "
@@ -66,7 +67,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(row);
   }
-  std::printf("%s\n", table.to_string().c_str());
+  slimbench::print_table("scheme MFU comparison", table);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

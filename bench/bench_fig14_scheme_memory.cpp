@@ -51,6 +51,7 @@ static void BM_Fig14(benchmark::State& state) {
 BENCHMARK(BM_Fig14)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  slimbench::open_report("fig14_scheme_memory");
   slimbench::print_banner(
       "Figure 14 — peak GPU memory across PP schemes vs context length",
       "same sweep as Figure 13; 80 GiB Hopper budget",
@@ -67,7 +68,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(row);
   }
-  std::printf("%s\n", table.to_string().c_str());
+  slimbench::print_table("scheme peak memory comparison", table);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -48,6 +48,7 @@ static void BM_Figure1(benchmark::State& state) {
 BENCHMARK(BM_Figure1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  slimbench::open_report("fig1_memory_vs_pp");
   slimbench::print_banner(
       "Figure 1 — memory footprint vs pipeline parallelism size",
       "Llama 13B, 128K context, 8-way TP, 1F1B vs SlimPipe (n = 4p)",
@@ -64,7 +65,7 @@ int main(int argc, char** argv) {
                    format_bytes(row.slim_states), format_bytes(row.slim_act),
                    fmt(row.slim_act / row.classic_act, 3)});
   }
-  std::printf("%s\n", table.to_string().c_str());
+  slimbench::print_table("first-stage activation memory vs pipeline depth", table);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -32,6 +32,7 @@ BENCHMARK(BM_Figure2MaxContext)
     ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  slimbench::open_report("fig2_max_context");
   slimbench::print_banner(
       "Figure 2 — maximum supported context length per PP scheme",
       "Llama 7B, t=8, p=8 (64 GPUs), 1 sequence/iteration, best checkpoint "
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
                                       2) + "x"
                                 : "-"});
   }
-  std::printf("%s\n", table.to_string().c_str());
+  slimbench::print_table("max trainable context length", table);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

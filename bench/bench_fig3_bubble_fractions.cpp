@@ -74,6 +74,7 @@ static void BM_Figure3(benchmark::State& state) {
 BENCHMARK(BM_Figure3)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  slimbench::open_report("fig3_bubble_fractions");
   slimbench::print_banner(
       "Figure 3 — bubble fractions of PP schemes",
       "Llama 13B, p=8, m=4, 256K context, full checkpointing "
@@ -95,7 +96,7 @@ int main(int argc, char** argv) {
                      "infeasible (m < p)", "--"});
     }
   }
-  std::printf("%s\n", table.to_string().c_str());
+  slimbench::print_table("bubble fraction by scheme", table);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -49,6 +49,7 @@ static void BM_Figure6Sweep(benchmark::State& state) {
 BENCHMARK(BM_Figure6Sweep)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  slimbench::open_report("fig6_slices_sweep");
   slimbench::print_banner(
       "Figure 6a — activation memory vs number of slices",
       "Llama 13B, t=8, m=3, 8K tokens per slice, p in {2,4,8}",
@@ -65,7 +66,7 @@ int main(int argc, char** argv) {
     }
     mem_table.add_row(row);
   }
-  std::printf("%s\n", mem_table.to_string().c_str());
+  slimbench::print_table("peak memory vs slice count", mem_table);
 
   slimbench::print_banner(
       "Figure 6b — bubble fraction vs number of slices",
@@ -81,7 +82,7 @@ int main(int argc, char** argv) {
     }
     bub_table.add_row(row);
   }
-  std::printf("%s\n", bub_table.to_string().c_str());
+  slimbench::print_table("bubble fraction vs slice count", bub_table);
 
   // §5 ablation: chunked KV cache vs contiguous reallocation.
   slimbench::print_banner(
@@ -111,7 +112,7 @@ int main(int argc, char** argv) {
   alloc.add_row({"contiguous realloc",
                  format_bytes(contiguous.peak_reserved_bytes()),
                  format_bytes(contiguous.fragmentation_bytes())});
-  std::printf("%s\n", alloc.to_string().c_str());
+  slimbench::print_table("adaptive slice allocation", alloc);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

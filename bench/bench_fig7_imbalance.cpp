@@ -28,6 +28,7 @@ static void BM_Figure7Exchange(benchmark::State& state) {
 BENCHMARK(BM_Figure7Exchange)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  slimbench::open_report("fig7_imbalance");
   slimbench::print_banner(
       "Figure 7 + 4.2 — imbalance bubbles and context exchange",
       "Llama 13B, t=8, p=4, m=2, n=16, 512K context",
@@ -48,7 +49,9 @@ int main(int argc, char** argv) {
   table.add_row({"on", format_time(on.iteration_time),
                  format_percent(on.bubble_fraction), format_percent(on.mfu),
                  format_bytes(on.exchange_bytes_max_device)});
-  std::printf("%s\n", table.to_string().c_str());
+  slimbench::print_table("MFU with/without KV exchange", table);
+  slimbench::add_run("exchange off", off);
+  slimbench::add_run("exchange on", on);
   std::printf("timeline WITHOUT exchange (imbalance bubbles):\n%s\n",
               off.ascii_timeline.c_str());
   std::printf("timeline WITH exchange:\n%s\n", on.ascii_timeline.c_str());
@@ -76,7 +79,9 @@ int main(int argc, char** argv) {
                   format_percent(distributed.bubble_fraction),
                   format_percent(distributed.mfu),
                   format_bytes(distributed.last_device_memory)});
-  std::printf("%s\n", vtable.to_string().c_str());
+  slimbench::print_table("MFU with/without vocab parallelism", vtable);
+  slimbench::add_run("vocab last-device", last_dev);
+  slimbench::add_run("vocab distributed", distributed);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -87,6 +87,7 @@ static void BM_Table2(benchmark::State& state) {
 BENCHMARK(BM_Table2)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  slimbench::open_report("table2_scheme_comparison");
   slimbench::print_banner(
       "Table 2 — activation memory and bubble fraction per scheme",
       "Llama 13B (tiny vocab), t=8, p=4, m=8, n=16, v=2, 64K context",
@@ -101,7 +102,7 @@ int main(int argc, char** argv) {
                    fmt(measured_activation_fraction(scheme), 3),
                    format_percent(r.bubble_fraction)});
   }
-  std::printf("%s\n", table.to_string().c_str());
+  slimbench::print_table("scheme comparison", table);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

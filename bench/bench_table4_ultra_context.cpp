@@ -58,6 +58,7 @@ static void BM_Table4(benchmark::State& state) {
 BENCHMARK(BM_Table4)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  slimbench::open_report("table4_ultra_context");
   slimbench::print_banner(
       "Table 4 — ultra-long-context training with activation offloading",
       "paper's exact configurations: 16M tokens/iteration, selective "
@@ -76,7 +77,7 @@ int main(int argc, char** argv) {
                    format_percent(r.mfu), format_bytes(r.peak_memory),
                    r.oom ? "NO" : "yes"});
   }
-  std::printf("%s\n", table.to_string().c_str());
+  slimbench::print_table("ultra-long-context feasibility", table);
 
   // Ablation: the same configurations without offloading must OOM.
   slimbench::print_banner(
@@ -90,7 +91,7 @@ int main(int argc, char** argv) {
     ab.add_row({c.cfg.name, format_context(c.context),
                 format_bytes(r.peak_memory), r.oom ? "NO" : "yes"});
   }
-  std::printf("%s\n", ab.to_string().c_str());
+  slimbench::print_table("checkpointing ablation", ab);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -13,6 +13,7 @@
 #include "src/core/runner.hpp"
 #include "src/core/slimpipe.hpp"
 #include "src/model/transformer.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sched/builder.hpp"
 #include "src/sched/schemes.hpp"
 #include "src/sim/trace.hpp"
@@ -97,7 +98,7 @@ int main(int argc, char** argv) {
     auto built = sched::compile(spec, programs, nullptr);
     const auto exec = sim::execute(*built.graph);
     std::ofstream out(trace_path);
-    out << sim::chrome_trace_json(*built.graph, exec);
+    out << obs::chrome_trace_json(obs::trace_from_sim(*built.graph, exec));
     std::printf("Chrome trace written to %s (open chrome://tracing)\n",
                 trace_path);
   }

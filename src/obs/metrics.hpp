@@ -1,0 +1,72 @@
+#pragma once
+
+// Metrics registry: one per-stage/per-device record shape (StageMetrics)
+// computable from BOTH execution substrates — from an executed simulator
+// OpGraph (metrics_from_sim) and from a runtime Trace plus live probes
+// (metrics_from_trace). sched::ScheduleResult and rt::PipelineStats both
+// carry a RunMetrics so the same analysis/report code consumes either.
+
+#include <string>
+#include <vector>
+
+#include "src/memory/tracker.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/trace.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/graph.hpp"
+
+namespace slim::obs {
+
+/// Per-device (== per-pipeline-stage) breakdown for one iteration.
+/// Discrete fields (peak_live_slices, p2p_messages) are schedule-shape
+/// invariants and match exactly between substrates; timing fields follow
+/// each substrate's own clock (cost model vs wall clock).
+struct StageMetrics {
+  int device = 0;
+
+  double compute_seconds = 0.0;       // busy on fwd/bwd/recompute/vocab/optim
+  double comm_seconds = 0.0;          // p2p/exchange/collective occupancy
+  double idle_seconds = 0.0;          // makespan - compute (the bubble)
+  double bubble_fraction = 0.0;       // idle / makespan
+
+  int peak_live_slices = 0;           // paper Eq.1 bound: n + 2(p-1-r)
+  std::int64_t p2p_messages = 0;      // cross-device messages sent
+  double p2p_bytes = 0.0;             // payload volume sent
+  double exchange_bytes = 0.0;        // context-exchange share of p2p_bytes
+
+  double blocked_recv_seconds = 0.0;  // runtime: time blocked inside recv
+  int peak_queue_depth = 0;           // runtime: inbox high-water mark
+  double peak_memory_bytes = 0.0;     // memory high-water (sim replay)
+};
+
+struct RunMetrics {
+  std::string substrate;  // "sim" or "runtime"
+  std::string scheme;     // schedule scheme label
+  double makespan = 0.0;  // seconds (simulated or wall-clock)
+  std::vector<StageMetrics> stages;
+
+  double mean_bubble_fraction() const;
+  int max_peak_live_slices() const;
+  std::int64_t total_p2p_messages() const;
+  double total_p2p_bytes() const;
+};
+
+/// Computes per-device metrics from an executed simulator graph. Comm
+/// seconds attribute channel occupancy to the *sending* device. Peak live
+/// slices replays forward-start (+1) / first-backward-end (-1) per
+/// (device, microbatch, slice). `memory` optionally supplies the per-device
+/// high-water marks from a mem::replay_memory pass.
+RunMetrics metrics_from_sim(const sim::OpGraph& graph,
+                            const sim::ExecResult& result, int num_devices,
+                            const mem::MemoryReport* memory = nullptr);
+
+/// Computes per-device metrics from a recorded Trace (runtime substrate):
+/// span cats map to compute/comm buckets; makespan is the last span end.
+/// Probe-only fields (queue depth, blocked time, message counts) must be
+/// filled by the caller from its live probes.
+RunMetrics metrics_from_trace(const Trace& trace, int num_devices);
+
+JsonValue run_metrics_to_json(const RunMetrics& metrics);
+bool run_metrics_from_json(const JsonValue& value, RunMetrics* out);
+
+}  // namespace slim::obs

@@ -39,6 +39,7 @@ class Channel {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return;
       queue_.push_back(std::move(message));
+      peak_depth_ = std::max(peak_depth_, queue_.size());
     }
     cv_.notify_one();
   }
@@ -50,6 +51,7 @@ class Channel {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return;
       queue_.push_front(std::move(message));
+      peak_depth_ = std::max(peak_depth_, queue_.size());
     }
     cv_.notify_one();
   }
@@ -122,10 +124,18 @@ class Channel {
     return queue_.size();
   }
 
+  /// High-water mark of the queue depth over the channel's lifetime (an
+  /// observability probe: how far ahead the producer ran).
+  std::size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_depth_;
+  }
+
  private:
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<T> queue_;
+  std::size_t peak_depth_ = 0;
   bool closed_ = false;
 };
 

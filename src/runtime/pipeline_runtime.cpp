@@ -33,6 +33,34 @@ struct Message {
   int shard = 0;        // sender shard for VocabStats / VocabDx
   int stage = 0;        // global stage index (interleaving routes by it)
   num::Tensor payload;  // activation / gradient / packed scalars
+  /// Trace flow id opened by the sender; the receiver closes it so the
+  /// exported trace draws a send->recv arrow. -1 when tracing is off or
+  /// the message is stage-local.
+  std::int64_t flow = -1;
+};
+
+const char* message_kind_name(Message::Kind kind) {
+  switch (kind) {
+    case Message::Kind::Forward: return "fwd";
+    case Message::Kind::Backward: return "bwd";
+    case Message::Kind::VocabWork: return "vocab_work";
+    case Message::Kind::VocabStats: return "vocab_stats";
+    case Message::Kind::VocabGlobal: return "vocab_global";
+    case Message::Kind::VocabDx: return "vocab_dx";
+  }
+  return "?";
+}
+
+/// Always-on per-stage observability counters. Each attempt's worker thread
+/// is the sole writer of its stage's probe while running; the parent reads
+/// after join (the join is the synchronization point), so plain fields
+/// suffice — no atomics on the hot path.
+struct StageProbe {
+  double busy_seconds = 0.0;         // processing messages
+  double blocked_recv_seconds = 0.0; // waiting inside receive
+  std::int64_t p2p_messages = 0;     // cross-thread sends from this stage
+  double p2p_bytes = 0.0;            // payload volume of those sends
+  std::size_t peak_queue = 0;        // inbox high-water mark
 };
 
 /// Thrown when a FaultPlan stage crash fires; the recovery path catches it
@@ -171,6 +199,16 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
   result.stats.peak_live_slices.assign(static_cast<std::size_t>(p), 0);
   result.stats.messages.assign(static_cast<std::size_t>(p), 0);
 
+  // Observability: cheap always-on probes plus the optional span recorder.
+  obs::Recorder* const rec = options.recorder;
+  std::vector<StageProbe> probes(static_cast<std::size_t>(p));
+  double wall_seconds = 0.0;  // summed over attempts
+  if (rec != nullptr) {
+    for (int s = 0; s < p; ++s) {
+      rec->set_track_name(s, "stage " + std::to_string(s));
+    }
+  }
+
   const int v = chunks_per_stage_;
   const int total_stages = p * v;
   const int head_thread = (total_stages - 1) % p;
@@ -286,10 +324,25 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
 
     auto worker_body = [&](int stage) {
       StageStatus& status = statuses[static_cast<std::size_t>(stage)];
+      StageProbe& probe = probes[static_cast<std::size_t>(stage)];
       std::vector<MbStage>& stage_staged =
           staged[static_cast<std::size_t>(stage)];
       std::vector<fault::FaultEvent>& events =
           stage_events[static_cast<std::size_t>(stage)];
+
+      // Routes a message to another stage thread: counts the cross-stage
+      // traffic and opens a trace flow that the receiver closes (the
+      // send->recv arrows in the exported trace).
+      auto send_to = [&](int dst, Message out) {
+        if (dst != stage) {
+          ++probe.p2p_messages;
+          probe.p2p_bytes += static_cast<double>(out.payload.size()) * 4.0;
+          if (rec != nullptr) {
+            out.flow = rec->begin_flow(stage, message_kind_name(out.kind));
+          }
+        }
+        inbox[static_cast<std::size_t>(dst)].send(std::move(out));
+      };
 
       // This thread owns global stages stage, p+stage, 2p+stage, ...
       std::vector<std::vector<num::Layer>> chunk_layers(
@@ -418,23 +471,36 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
         }
         while (!have) {
           status.state.store(static_cast<int>(StageState::Waiting));
+          const double recv_start = rec != nullptr ? rec->now() : 0.0;
+          const auto wait_start = std::chrono::steady_clock::now();
           Message received;
           const RecvStatus recv =
               inbox[static_cast<std::size_t>(stage)].receive_status_for(
                   options.starvation_timeout, received);
+          probe.blocked_recv_seconds +=
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            wait_start)
+                  .count();
+          if (rec != nullptr) {
+            rec->span(stage, "recv", obs::kCatComm, recv_start, rec->now());
+          }
           status.state.store(static_cast<int>(StageState::Running));
           if (recv == RecvStatus::Closed) throw WorkerAborted{};
           if (recv == RecvStatus::Timeout) {
             // Watchdog: this stage starved. Snapshot every stage's
             // blocked-on state and fail the iteration with the table.
+            const std::string starved_detail =
+                "starved: f=" + std::to_string(done_f) + "/" +
+                std::to_string(want_f) + " b=" + std::to_string(done_b) + "/" +
+                std::to_string(want_b) + " live=" + std::to_string(live) +
+                " cap=" + std::to_string(live_cap);
+            if (rec != nullptr) {
+              rec->instant(stage, "watchdog", obs::kCatFault, starved_detail);
+            }
             fault::FaultReport report;
             report.events.push_back(
-                {fault::FaultEvent::Kind::Watchdog, stage, 0.0, messages,
-                 "starved: f=" + std::to_string(done_f) + "/" +
-                     std::to_string(want_f) + " b=" + std::to_string(done_b) +
-                     "/" + std::to_string(want_b) + " live=" +
-                     std::to_string(live) + " cap=" +
-                     std::to_string(live_cap)});
+                {fault::FaultEvent::Kind::Watchdog, stage,
+                 rec != nullptr ? rec->now() : 0.0, messages, starved_detail});
             report.blocked_table = blocked_table();
             throw PipelineError(
                 "pipeline stage " + std::to_string(stage) +
@@ -449,14 +515,24 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
             // The stage silently stops making progress; peers starve and
             // the watchdog reports it. Park until the shutdown broadcast.
             status.state.store(static_cast<int>(StageState::Hung));
-            events.push_back({fault::FaultEvent::Kind::Hang, stage, 0.0,
+            if (rec != nullptr) {
+              rec->instant(stage, "hang", obs::kCatFault,
+                           "stage stopped draining its inbox");
+            }
+            events.push_back({fault::FaultEvent::Kind::Hang, stage,
+                              rec != nullptr ? rec->now() : 0.0,
                               messages, "stage stopped draining its inbox"});
             std::unique_lock<std::mutex> lock(ctrl.hang_mutex);
             ctrl.hang_cv.wait(lock, [&] { return ctrl.shutdown.load(); });
             throw WorkerAborted{};
           }
           if (crash_at > 0 && messages == crash_at) {
-            events.push_back({fault::FaultEvent::Kind::Crash, stage, 0.0,
+            if (rec != nullptr) {
+              rec->instant(stage, "crash", obs::kCatFault,
+                           "stage worker crashed between messages");
+            }
+            events.push_back({fault::FaultEvent::Kind::Crash, stage,
+                              rec != nullptr ? rec->now() : 0.0,
                               messages,
                               "stage worker crashed between messages"});
             throw InjectedCrash(stage, messages);
@@ -464,12 +540,15 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
           if (delay_every > 0 && messages % delay_every == 0 &&
               delay_seconds > 0.0) {
             if (!delay_logged) {
-              events.push_back({fault::FaultEvent::Kind::Delay, stage, 0.0,
-                                messages,
-                                "sleeping " + std::to_string(delay_seconds) +
-                                    " s every " +
-                                    std::to_string(delay_every) +
-                                    " messages"});
+              const std::string delay_detail =
+                  "sleeping " + std::to_string(delay_seconds) + " s every " +
+                  std::to_string(delay_every) + " messages";
+              if (rec != nullptr) {
+                rec->instant(stage, "delay", obs::kCatFault, delay_detail);
+              }
+              events.push_back({fault::FaultEvent::Kind::Delay, stage,
+                                rec != nullptr ? rec->now() : 0.0,
+                                messages, delay_detail});
               delay_logged = true;
             }
             std::this_thread::sleep_for(
@@ -486,6 +565,16 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
           msg = std::move(received);
           have = true;
         }
+        if (rec != nullptr && msg.flow >= 0) {
+          rec->end_flow(msg.flow, stage, rec->now());
+          msg.flow = -1;
+        }
+        const Message::Kind processed_kind = msg.kind;
+        const int processed_mb = msg.mb;
+        const int processed_slice = msg.slice;
+        const int processed_stage = msg.stage;
+        const double span_start = rec != nullptr ? rec->now() : 0.0;
+        const auto busy_start = std::chrono::steady_clock::now();
         const int rank = rank_of[static_cast<std::size_t>(msg.mb)];
         SLIM_CHECK(rank >= 0, "message for a microbatch outside the attempt");
         MbStage& mb_staged = stage_staged[static_cast<std::size_t>(rank)];
@@ -517,9 +606,9 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
               x = layer.forward_slice(x, pos, msg.mb);
             }
             if (msg.stage + 1 < total_stages) {
-              inbox[static_cast<std::size_t>((msg.stage + 1) % p)].send(
-                  {Message::Kind::Forward, msg.mb, msg.slice, 0, msg.stage + 1,
-                   std::move(x)});
+              send_to((msg.stage + 1) % p,
+                      {Message::Kind::Forward, msg.mb, msg.slice, 0,
+                       msg.stage + 1, std::move(x)});
               break;
             }
             const num::Tensor hidden = num::rmsnorm(x, final_norm_);
@@ -527,9 +616,8 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
               // Phase 1: broadcast the hidden states to every shard.
               final_input[idx(msg.mb, msg.slice)] = std::move(x);
               for (int s = 0; s < p; ++s) {
-                inbox[static_cast<std::size_t>(s)].send(
-                    {Message::Kind::VocabWork, msg.mb, msg.slice, 0, 0,
-                     hidden});
+                send_to(s, {Message::Kind::VocabWork, msg.mb, msg.slice, 0, 0,
+                            hidden});
               }
             } else {
               const num::Tensor logits = num::matmul_nt(hidden, embedding_);
@@ -583,9 +671,9 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
                   msg.mb);
             }
             if (msg.stage > 0) {
-              inbox[static_cast<std::size_t>((msg.stage - 1 + p) % p)].send(
-                  {Message::Kind::Backward, msg.mb, msg.slice, 0,
-                   msg.stage - 1, std::move(dx)});
+              send_to((msg.stage - 1 + p) % p,
+                      {Message::Kind::Backward, msg.mb, msg.slice, 0,
+                       msg.stage - 1, std::move(dx)});
             } else {
               const auto& ids = tokens[static_cast<std::size_t>(msg.mb)];
               const std::int64_t pos =
@@ -602,6 +690,10 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
               // final and survive a later crash (commit point).
               mb_staged.complete = true;
               status.committed.fetch_add(1);
+              if (rec != nullptr) {
+                rec->instant(stage, "commit mb" + std::to_string(msg.mb),
+                             obs::kCatCommit);
+              }
             }
             if (head_edge && msg.slice > 0) {
               inbox[static_cast<std::size_t>(stage)].send_front(
@@ -624,9 +716,8 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
               packed.at(2, i) = st.target_logit[static_cast<std::size_t>(i)];
             }
             shard_hidden[idx(msg.mb, msg.slice)] = hidden;
-            inbox[static_cast<std::size_t>(head_thread)].send(
-                {Message::Kind::VocabStats, msg.mb, msg.slice, stage, 0,
-                 std::move(packed)});
+            send_to(head_thread, {Message::Kind::VocabStats, msg.mb,
+                                  msg.slice, stage, 0, std::move(packed)});
             break;
           }
           case Message::Kind::VocabStats: {
@@ -671,9 +762,8 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
               mb_staged.loss += loss / static_cast<double>(slice_len) *
                                 slice_weight * static_cast<double>(m);
               for (int s = 0; s < p; ++s) {
-                inbox[static_cast<std::size_t>(s)].send(
-                    {Message::Kind::VocabGlobal, msg.mb, msg.slice, 0, 0,
-                     global});
+                send_to(s, {Message::Kind::VocabGlobal, msg.mb, msg.slice, 0,
+                            0, global});
               }
             }
             break;
@@ -704,9 +794,8 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
             }
             mb_staged.head_shard.add_(num::matmul_tn(dlogits, hidden));
             num::Tensor dx_part = num::matmul(dlogits, head_shard);
-            inbox[static_cast<std::size_t>(head_thread)].send(
-                {Message::Kind::VocabDx, msg.mb, msg.slice, stage, 0,
-                 std::move(dx_part)});
+            send_to(head_thread, {Message::Kind::VocabDx, msg.mb, msg.slice,
+                                  stage, 0, std::move(dx_part)});
             break;
           }
           case Message::Kind::VocabDx: {
@@ -732,6 +821,21 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
             }
             break;
           }
+        }
+        probe.busy_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          busy_start)
+                .count();
+        if (rec != nullptr) {
+          // Every processed message is compute work (vocab rounds included:
+          // they run the shard GEMMs); waiting shows up as "recv" spans.
+          rec->span(stage,
+                    std::string(message_kind_name(processed_kind)) + " mb" +
+                        std::to_string(processed_mb) + " s" +
+                        std::to_string(processed_slice) + " st" +
+                        std::to_string(processed_stage),
+                    obs::kCatCompute, span_start, rec->now(), processed_mb,
+                    processed_slice, processed_stage);
         }
       }
       for (const auto& chunk : chunk_layers) {
@@ -768,8 +872,12 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
 
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(p));
+    const auto attempt_start = std::chrono::steady_clock::now();
     for (int s = 0; s < p; ++s) threads.emplace_back(worker_main, s);
     for (std::thread& t : threads) t.join();
+    wall_seconds += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - attempt_start)
+                        .count();
 
     // Fold the attempt's stats and fault events into the iteration totals.
     for (int s = 0; s < p; ++s) {
@@ -778,6 +886,9 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
       result.stats.peak_live_slices[static_cast<std::size_t>(s)] = std::max(
           result.stats.peak_live_slices[static_cast<std::size_t>(s)],
           st.peak_live.load());
+      probes[static_cast<std::size_t>(s)].peak_queue =
+          std::max(probes[static_cast<std::size_t>(s)].peak_queue,
+                   inbox[static_cast<std::size_t>(s)].peak_depth());
       for (fault::FaultEvent& event : stage_events[static_cast<std::size_t>(s)]) {
         iteration_report.events.push_back(std::move(event));
       }
@@ -894,8 +1005,12 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
     std::string detail = "stage " + std::to_string(first.crashed_stage) +
                          " respawned; replaying microbatches";
     for (const int mb : replay) detail += " " + std::to_string(mb);
+    if (rec != nullptr) {
+      rec->instant(first.crashed_stage, "recovery", obs::kCatFault, detail);
+    }
     iteration_report.events.push_back({fault::FaultEvent::Kind::Recovery,
-                                       first.crashed_stage, 0.0,
+                                       first.crashed_stage,
+                                       rec != nullptr ? rec->now() : 0.0,
                                        static_cast<std::int64_t>(replay.size()),
                                        detail});
     iteration_report.replayed_microbatches = replay;
@@ -917,6 +1032,30 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
   } else {
     result.grads.embedding.add_(
         head_shard_grad[static_cast<std::size_t>(head_thread)]);
+  }
+  // Assemble the per-stage metrics in the shared obs shape. Timing fields
+  // are wall-clock (this substrate's clock); the discrete schedule-shape
+  // fields (peak live slices, message counts) are what the consistency
+  // tests compare against the simulator.
+  result.stats.metrics.substrate = "runtime";
+  result.stats.metrics.scheme = v > 1 ? "slimpipe-interleaved" : "slimpipe";
+  result.stats.metrics.makespan = wall_seconds;
+  for (int s = 0; s < p; ++s) {
+    const StageProbe& probe = probes[static_cast<std::size_t>(s)];
+    obs::StageMetrics stage_metrics;
+    stage_metrics.device = s;
+    stage_metrics.compute_seconds = probe.busy_seconds;
+    stage_metrics.idle_seconds =
+        std::max(0.0, wall_seconds - probe.busy_seconds);
+    stage_metrics.bubble_fraction =
+        wall_seconds > 0.0 ? stage_metrics.idle_seconds / wall_seconds : 0.0;
+    stage_metrics.blocked_recv_seconds = probe.blocked_recv_seconds;
+    stage_metrics.peak_live_slices =
+        result.stats.peak_live_slices[static_cast<std::size_t>(s)];
+    stage_metrics.p2p_messages = probe.p2p_messages;
+    stage_metrics.p2p_bytes = probe.p2p_bytes;
+    stage_metrics.peak_queue_depth = static_cast<int>(probe.peak_queue);
+    result.stats.metrics.stages.push_back(stage_metrics);
   }
   result.loss = total_loss / static_cast<double>(m);
   if (options.report != nullptr) {

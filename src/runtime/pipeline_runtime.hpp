@@ -31,6 +31,8 @@
 
 #include "src/fault/fault_plan.hpp"
 #include "src/numerics/transformer_block.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/runtime/channel.hpp"
 #include "src/util/rng.hpp"
 
@@ -44,6 +46,13 @@ struct PipelineStats {
   std::vector<std::int64_t> messages;
   /// Microbatches replayed after a stage respawn (empty when fault-free).
   std::vector<int> replayed_microbatches;
+
+  /// Per-stage observability breakdown — the same shape the simulator
+  /// attaches to sched::ScheduleResult, filled from cheap always-on probes
+  /// (wall-clock busy/blocked time, cross-stage message counts, channel
+  /// high-water marks). The consistency tests assert the discrete fields
+  /// match the simulator for the same schedule.
+  obs::RunMetrics metrics;
 };
 
 /// Structured pipeline failure: what happened, on which stage, and the
@@ -78,6 +87,12 @@ struct RunOptions {
   bool recover = false;
   /// Filled with the injected/observed fault events when set.
   fault::FaultReport* report = nullptr;
+  /// Optional tracing sink. When set, every slice forward/backward, vocab
+  /// shard pass, cross-stage send/recv and gradient commit records a span
+  /// or flow on the recorder (stage s = track s); fault events become
+  /// instant markers. Null (the default) skips all recording — the hot
+  /// path only pays a pointer test.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// Tied-embedding transformer split across `stages` worker threads.

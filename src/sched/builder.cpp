@@ -8,6 +8,8 @@
 #include "src/analysis/schedule_check.hpp"
 #include "src/fault/fault_sim.hpp"
 #include "src/model/activation.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/trace.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/math.hpp"
@@ -562,6 +564,8 @@ ScheduleResult assemble_result(const PipelineSpec& spec,
   if (want_timeline) {
     result.ascii_timeline = sim::ascii_timeline(*built.graph, exec);
   }
+  result.metrics = obs::metrics_from_sim(*built.graph, exec, spec.p, &memory);
+  result.metrics.scheme = scheme_name;
   return result;
 }
 
@@ -571,9 +575,10 @@ ScheduleResult run_pipeline(const PipelineSpec& spec,
                             const std::vector<DeviceProgram>& programs,
                             const ExchangeOracle* exchange,
                             const std::string& scheme_name,
-                            bool want_timeline) {
+                            bool want_timeline, obs::Trace* trace) {
   BuildOutput built = compile(spec, programs, exchange);
   const sim::ExecResult exec = sim::execute(*built.graph);
+  if (trace != nullptr) *trace = obs::trace_from_sim(*built.graph, exec);
   return assemble_result(spec, built, exec, scheme_name, want_timeline);
 }
 
@@ -583,21 +588,29 @@ ScheduleResult run_pipeline_faulted(const PipelineSpec& spec,
                                     const std::string& scheme_name,
                                     const fault::FaultPlan& faults,
                                     fault::FaultReport* report,
-                                    bool want_timeline) {
+                                    bool want_timeline, obs::Trace* trace) {
   {
     const std::vector<fault::PlanIssue> issues =
         fault::validate(faults, spec.p);
     SLIM_CHECK(issues.empty(),
                "invalid fault plan:\n" + fault::render(issues));
   }
+  // The trace wants the structured fault events even when the caller did
+  // not ask for a report.
+  fault::FaultReport local_report;
+  if (trace != nullptr && report == nullptr) report = &local_report;
   BuildOutput built = compile(spec, programs, exchange);
   const double injected =
       fault::apply_to_graph(*built.graph, faults, report);
   const sim::ExecResult exec = sim::execute(*built.graph);
+  if (trace != nullptr) *trace = obs::trace_from_sim(*built.graph, exec);
   ScheduleResult result =
       assemble_result(spec, built, exec, scheme_name, want_timeline);
   const double recovery =
       fault::recovery_overhead(*built.graph, exec, faults, report);
+  if (trace != nullptr && report != nullptr) {
+    obs::append_fault_events(*trace, report->events);
+  }
   result.fault_injected_seconds = injected;
   result.fault_recovery_seconds = recovery;
   result.iteration_time += recovery;

@@ -15,6 +15,7 @@
 
 #include "src/fault/fault_plan.hpp"
 #include "src/memory/tracker.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sched/schedule.hpp"
 #include "src/sim/executor.hpp"
 #include "src/sim/graph.hpp"
@@ -68,25 +69,32 @@ BuildOutput compile(const PipelineSpec& spec,
 void set_compile_lint(bool enabled);
 bool compile_lint_enabled();
 
-/// Compiles, executes, replays memory and assembles the full result.
+/// Compiles, executes, replays memory and assembles the full result
+/// (including per-stage obs::RunMetrics). When `trace` is non-null it is
+/// filled with the executed timeline (obs::trace_from_sim) for export via
+/// obs::chrome_trace_json.
 ScheduleResult run_pipeline(const PipelineSpec& spec,
                             const std::vector<DeviceProgram>& programs,
                             const ExchangeOracle* exchange,
                             const std::string& scheme_name,
-                            bool want_timeline = false);
+                            bool want_timeline = false,
+                            obs::Trace* trace = nullptr);
 
 /// Fault-injecting form: applies the plan to the compiled graph (straggler
 /// and link degradation) before executing, then adds the checkpoint-restart
 /// recovery cost of any device crashes. iteration_time reports the degraded
 /// total; the fault_* fields break out the two overheads. `report`, when
 /// set, collects the structured fault events.
+/// `trace`, when set, additionally carries the injected fault events as
+/// instant markers on the affected devices' tracks.
 ScheduleResult run_pipeline_faulted(const PipelineSpec& spec,
                                     const std::vector<DeviceProgram>& programs,
                                     const ExchangeOracle* exchange,
                                     const std::string& scheme_name,
                                     const fault::FaultPlan& faults,
                                     fault::FaultReport* report = nullptr,
-                                    bool want_timeline = false);
+                                    bool want_timeline = false,
+                                    obs::Trace* trace = nullptr);
 
 /// Shared warmup/steady/cooldown assembly: `fwd` and `bwd` are the
 /// device-local unit orders; the first `warmup` forwards run before the

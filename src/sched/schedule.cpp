@@ -81,4 +81,17 @@ std::string PipelineSpec::validate() const {
   return err.str();
 }
 
+obs::RunRecord to_run_record(const ScheduleResult& result,
+                             const std::string& label) {
+  obs::RunRecord run;
+  run.label = label;
+  run.iteration_time = result.iteration_time;
+  run.bubble_fraction = result.bubble_fraction;
+  run.mfu = result.mfu;
+  run.peak_memory = result.peak_memory;
+  run.oom = result.oom;
+  run.metrics = result.metrics;
+  return run;
+}
+
 }  // namespace slim::sched

@@ -18,6 +18,8 @@
 #include "src/model/flops.hpp"
 #include "src/model/hardware.hpp"
 #include "src/model/transformer.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/report.hpp"
 #include "src/sim/topology.hpp"
 
 namespace slim::sched {
@@ -125,6 +127,14 @@ struct ScheduleResult {
   // already includes both components when a FaultPlan was applied.
   double fault_injected_seconds = 0.0;  // straggler/link time added to ops
   double fault_recovery_seconds = 0.0;  // checkpoint-restart replay cost
+
+  /// Per-stage observability breakdown (same shape as the threaded
+  /// runtime's rt::PipelineStats::metrics).
+  obs::RunMetrics metrics;
 };
+
+/// Packs a ScheduleResult into the bench-report run shape.
+obs::RunRecord to_run_record(const ScheduleResult& result,
+                             const std::string& label);
 
 }  // namespace slim::sched

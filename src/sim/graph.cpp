@@ -20,6 +20,24 @@ bool is_compute_class(OpClass cls) {
   }
 }
 
+const char* op_class_name(OpClass cls) {
+  switch (cls) {
+    case OpClass::Forward: return "forward";
+    case OpClass::Backward: return "backward";
+    case OpClass::BackwardInput: return "backward_input";
+    case OpClass::BackwardWeight: return "backward_weight";
+    case OpClass::Recompute: return "recompute";
+    case OpClass::VocabForward: return "vocab_forward";
+    case OpClass::VocabBackward: return "vocab_backward";
+    case OpClass::Optimizer: return "optimizer";
+    case OpClass::Send: return "send";
+    case OpClass::ExchangeSend: return "exchange_send";
+    case OpClass::Collective: return "collective";
+    case OpClass::Other: return "other";
+  }
+  return "unknown";
+}
+
 OpGraph::OpGraph(Topology topology) : topology_(topology) {}
 
 ResId OpGraph::intern_resource(std::int64_t key) {
@@ -106,6 +124,8 @@ OpId OpGraph::add_transfer(int src, int dst, double bytes, OpClass cls,
   op.duration = topology_.p2p_time(src, dst, bytes);
   op.cls = cls;
   op.device = src;
+  op.peer = dst;
+  op.bytes = bytes;
   op.deps = std::move(deps);
   programs_[op.resource].push_back(op.id);
   ops_.push_back(std::move(op));

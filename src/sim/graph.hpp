@@ -40,6 +40,10 @@ enum class OpClass : std::uint8_t {
 
 bool is_compute_class(OpClass cls);
 
+/// Stable lower-case name of an op class ("forward", "exchange_send", ...);
+/// shared by the trace exporters and metrics reports.
+const char* op_class_name(OpClass cls);
+
 /// Memory ledger entry attached to an op; positive bytes allocate, negative
 /// free. Applied on the simulated timeline at the op's start or end.
 struct MemDelta {
@@ -58,6 +62,12 @@ struct Op {
   /// Device whose timeline this op belongs to for tracing/bubble accounting
   /// (for comm ops: the sender).
   int device = 0;
+
+  /// Transfer metadata (comm ops only): receiving device and payload size.
+  /// Kept on the op so traces and metrics can report volumes without
+  /// re-deriving them from durations.
+  int peer = -1;
+  double bytes = 0.0;
 
   // Trace metadata.
   std::int32_t microbatch = -1;

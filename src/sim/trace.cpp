@@ -25,24 +25,6 @@ char class_char(OpClass cls) {
   }
 }
 
-const char* class_name(OpClass cls) {
-  switch (cls) {
-    case OpClass::Forward: return "forward";
-    case OpClass::Backward: return "backward";
-    case OpClass::BackwardInput: return "backward_input";
-    case OpClass::BackwardWeight: return "backward_weight";
-    case OpClass::Recompute: return "recompute";
-    case OpClass::VocabForward: return "vocab_forward";
-    case OpClass::VocabBackward: return "vocab_backward";
-    case OpClass::Optimizer: return "optimizer";
-    case OpClass::Send: return "send";
-    case OpClass::ExchangeSend: return "exchange_send";
-    case OpClass::Collective: return "collective";
-    case OpClass::Other: return "other";
-  }
-  return "unknown";
-}
-
 }  // namespace
 
 std::string ascii_timeline(const OpGraph& graph, const ExecResult& result,
@@ -81,23 +63,6 @@ std::string ascii_timeline(const OpGraph& graph, const ExecResult& result,
            "V/v=vocab O=optim .=bubble   makespan="
         << format_time(result.makespan) << "\n";
   }
-  return out.str();
-}
-
-std::string chrome_trace_json(const OpGraph& graph, const ExecResult& result) {
-  std::ostringstream out;
-  out << "[";
-  bool first = true;
-  for (const Op& op : graph.ops()) {
-    const OpTiming& t = result.timings[static_cast<std::size_t>(op.id)];
-    if (!first) out << ",";
-    first = false;
-    out << "\n{\"name\":\"" << class_name(op.cls) << " mb" << op.microbatch
-        << " s" << op.slice << " st" << op.stage << "\",\"ph\":\"X\",\"ts\":"
-        << t.start * 1e6 << ",\"dur\":" << (t.end - t.start) * 1e6
-        << ",\"pid\":0,\"tid\":" << op.device << "}";
-  }
-  out << "\n]\n";
   return out.str();
 }
 

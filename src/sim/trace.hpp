@@ -22,7 +22,9 @@ struct AsciiTraceOptions {
 std::string ascii_timeline(const OpGraph& graph, const ExecResult& result,
                            const AsciiTraceOptions& options = {});
 
-/// Chrome trace event JSON ("catapult" format) for chrome://tracing.
-std::string chrome_trace_json(const OpGraph& graph, const ExecResult& result);
+// Chrome trace export moved to the unified observability layer: see
+// obs::chrome_trace_json(graph, result) in src/obs/trace.hpp, which adds
+// proper JSON string escaping, per-channel communication tracks, flow
+// events linking sends to receives, and fault/recovery instant markers.
 
 }  // namespace slim::sim

@@ -74,6 +74,14 @@ std::string Table::to_csv() const {
   return out.str();
 }
 
+std::vector<std::vector<std::string>> Table::data_rows() const {
+  std::vector<std::vector<std::string>> out;
+  for (const Row& row : rows_) {
+    if (!row.separator) out.push_back(row.cells);
+  }
+  return out;
+}
+
 std::string fmt(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, value);

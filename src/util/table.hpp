@@ -27,6 +27,13 @@ class Table {
 
   std::size_t num_rows() const { return rows_.size(); }
 
+  /// Column headers, as passed to the constructor.
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// Data rows in order, separator lines omitted (pre-formatted cells).
+  /// Used by the bench reporter to serialize printed tables into JSON.
+  std::vector<std::vector<std::string>> data_rows() const;
+
  private:
   struct Row {
     std::vector<std::string> cells;

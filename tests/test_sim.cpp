@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/json.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/executor.hpp"
 #include "src/sim/graph.hpp"
 #include "src/sim/topology.hpp"
@@ -171,9 +173,20 @@ TEST(TraceTest, ChromeTraceIsJsonArray) {
   OpGraph g(make_cluster(1));
   g.add_compute(0, 1.0, OpClass::Forward, {});
   const ExecResult r = execute(g);
-  const std::string json = chrome_trace_json(g, r);
-  EXPECT_EQ(json.front(), '[');
-  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  const std::string json = obs::chrome_trace_json(g, r);
+  // The exporter's output must parse as a JSON array of event objects with
+  // at least one complete ("X") event.
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::JsonValue::parse(json, &doc, &error)) << error;
+  ASSERT_TRUE(doc.is_array());
+  bool saw_complete = false;
+  for (const auto& event : doc.array()) {
+    const obs::JsonValue* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->is_string() && ph->str() == "X") saw_complete = true;
+  }
+  EXPECT_TRUE(saw_complete);
 }
 
 TEST(GraphTest, MemDeltaAttached) {

@@ -19,14 +19,16 @@
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <memory>
 #include <string>
 
+#include "src/core/context_exchange.hpp"
 #include "src/core/runner.hpp"
 #include "src/fault/fault_plan.hpp"
-#include "src/core/slimpipe.hpp"
+#include "src/obs/report.hpp"
+#include "src/obs/trace.hpp"
 #include "src/parallel/search.hpp"
 #include "src/sched/builder.hpp"
-#include "src/sim/trace.hpp"
 #include "src/util/table.hpp"
 #include "src/util/units.hpp"
 
@@ -60,7 +62,10 @@ modes
   --search           grid-search the configuration (needs --gpus, --tokens)
   --gpus N           world size for --search
   --timeline         print the ASCII schedule
-  --trace FILE       write a Chrome trace JSON
+  --trace FILE       write a Chrome trace JSON (chrome://tracing / Perfetto);
+                     flow arrows link sends to receives, fault events appear
+                     as instant markers
+  --json FILE        write a slimpipe-bench-report JSON (slimpipe_report)
   --faults FILE      apply a fault plan (stragglers, link degradation,
                      crashes with checkpoint-restart) and print the report
 )");
@@ -98,7 +103,7 @@ model::CheckpointPolicy pick_policy(const std::string& name) {
   std::exit(1);
 }
 
-void print_result(const sched::ScheduleResult& r) {
+Table result_table(const sched::ScheduleResult& r) {
   Table table({"metric", "value"});
   table.add_row({"scheme", r.scheme});
   table.add_row({"iteration time", format_time(r.iteration_time)});
@@ -118,14 +123,35 @@ void print_result(const sched::ScheduleResult& r) {
                    format_bytes(r.exchange_bytes_max_device)});
   }
   table.add_row({"fits in device memory", r.oom ? "NO (OOM)" : "yes"});
-  std::printf("%s", table.to_string().c_str());
+  return table;
+}
+
+void print_result(const sched::ScheduleResult& r) {
+  std::printf("%s", result_table(r).to_string().c_str());
+}
+
+/// Writes the run as a slimpipe-bench-report so slimpipe_sim output can be
+/// rendered and diffed by slimpipe_report exactly like the bench reports.
+bool write_json_report(const std::string& path,
+                       const sched::ScheduleResult& r,
+                       const std::string& model_name,
+                       const std::string& scheme_label,
+                       const std::string& setup) {
+  obs::BenchReport report;
+  report.name = "slimpipe_sim";
+  report.artifact = "slimpipe_sim " + scheme_label + " / " + model_name;
+  report.setup = setup;
+  report.expectation = "single simulated iteration";
+  report.add_series("result", result_table(r));
+  report.runs.push_back(sched::to_run_record(r, scheme_label));
+  return obs::write_report(report, path);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string model_name = "13b", scheme_name = "slimpipe", ckpt = "none";
-  std::string trace_path, faults_path;
+  std::string trace_path, faults_path, json_path;
   std::int64_t seq = 131072, tokens = 0, t = 8, c = 1, e = 1, d = 1;
   int p = 4, v = 1, n = 0, m = 4, gpus = 0;
   double offload = 0.0;
@@ -159,6 +185,7 @@ int main(int argc, char** argv) {
     else if (arg == "--search") search = true;
     else if (arg == "--timeline") timeline = true;
     else if (arg == "--trace") trace_path = next();
+    else if (arg == "--json") json_path = next();
     else if (arg == "--faults") faults_path = next();
     else if (arg == "--no-exchange") exchange = false;
     else if (arg == "--adaptive") adaptive = true;
@@ -215,7 +242,8 @@ int main(int argc, char** argv) {
   try {
     sched::ScheduleResult r;
     fault::FaultReport report;
-    const bool want_timeline = timeline || !trace_path.empty();
+    fault::FaultPlan plan;
+    const bool want_timeline = timeline;
     if (!faults_path.empty()) {
       std::ifstream in(faults_path);
       if (!in) {
@@ -225,7 +253,28 @@ int main(int argc, char** argv) {
       }
       std::string text((std::istreambuf_iterator<char>(in)),
                        std::istreambuf_iterator<char>());
-      const fault::FaultPlan plan = fault::parse_plan(text);
+      plan = fault::parse_plan(text);
+    }
+    obs::Trace trace;
+    if (!trace_path.empty()) {
+      // Tracing runs through plan_scheme + run_pipeline directly: the plan
+      // mirrors the scheme runner's normalization exactly, and run_pipeline
+      // fills the obs::Trace alongside the result — one run, any scheme.
+      core::SchedulePlan sp = core::plan_scheme(scheme, spec);
+      std::unique_ptr<core::ExchangePlanner> planner;
+      if (sp.spec.context_exchange && sp.spec.p > 1) {
+        planner = std::make_unique<core::ExchangePlanner>(sp.spec);
+      }
+      if (!faults_path.empty()) {
+        r = sched::run_pipeline_faulted(sp.spec, sp.programs, planner.get(),
+                                        core::scheme_name(scheme), plan,
+                                        &report, want_timeline, &trace);
+      } else {
+        r = sched::run_pipeline(sp.spec, sp.programs, planner.get(),
+                                core::scheme_name(scheme), want_timeline,
+                                &trace);
+      }
+    } else if (!faults_path.empty()) {
       r = core::run_scheme_faulted(scheme, spec, plan, &report, want_timeline);
     } else {
       r = core::run_scheme(scheme, spec, want_timeline);
@@ -233,17 +282,24 @@ int main(int argc, char** argv) {
     print_result(r);
     if (!faults_path.empty()) std::printf("\n%s", report.render().c_str());
     if (timeline) std::printf("\n%s", r.ascii_timeline.c_str());
-    if (!trace_path.empty() && scheme == core::Scheme::SlimPipe) {
-      auto s = spec;
-      s.layout = spec.v == 1 ? sched::StageLayoutKind::Sequential
-                             : sched::StageLayoutKind::Interleaved;
-      s.retain_kv = true;
-      if (s.n < s.p) s.n = s.p;
-      const auto built = sched::compile(s, core::slimpipe_programs(s), nullptr);
-      const auto exec = sim::execute(*built.graph);
+    if (!trace_path.empty()) {
       std::ofstream out(trace_path);
-      out << sim::chrome_trace_json(*built.graph, exec);
+      out << obs::chrome_trace_json(trace);
       std::printf("\nChrome trace written to %s\n", trace_path.c_str());
+    }
+    if (!json_path.empty()) {
+      const std::string setup = model_name + " t=" + std::to_string(t) +
+                                " p=" + std::to_string(p) +
+                                " v=" + std::to_string(v) +
+                                " n=" + std::to_string(spec.n) +
+                                " m=" + std::to_string(m) +
+                                " seq=" + std::to_string(seq);
+      if (!write_json_report(json_path, r, model_name,
+                             core::scheme_name(scheme), setup)) {
+        std::fprintf(stderr, "cannot write report '%s'\n", json_path.c_str());
+        return 1;
+      }
+      std::printf("Report written to %s\n", json_path.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "simulation failed: %s\n", e.what());

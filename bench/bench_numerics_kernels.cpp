@@ -1,0 +1,181 @@
+// Numerics-kernel throughput on the shared parallel engine
+// (src/util/thread_pool.hpp). For each hot kernel the bench sweeps the
+// pool width in-process (ThreadPool::set_threads), reporting GFLOP/s,
+// speedup over the serial run, and — the engine's contract — whether the
+// output is bit-identical to the 1-thread result at every width.
+//
+// SLIMPIPE_BENCH_SMOKE=1 shrinks the shapes so the sweep finishes in
+// seconds (the `perf`-labelled ctest smoke uses it); the full shapes
+// include the 1024^3 matmul the roadmap's speedup target is quoted on.
+
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/numerics/cross_entropy.hpp"
+#include "src/numerics/norm_act.hpp"
+#include "src/numerics/tensor.hpp"
+#include "src/numerics/transformer_block.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/util/units.hpp"
+
+using namespace slim;
+using num::Tensor;
+
+namespace {
+
+bool g_all_identical = true;
+
+bool smoke_mode() {
+  const char* env = std::getenv("SLIMPIPE_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+std::vector<int> sweep_widths() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<int> widths = {1, 2, 4, 8};
+  if (hw > 1) {
+    bool present = false;
+    for (int w : widths) present = present || w == hw;
+    if (!present) widths.push_back(hw);
+  }
+  return widths;
+}
+
+/// Runs `fn` (which returns the kernel output) at every pool width,
+/// appending one table row per width with GFLOP/s, speedup over the
+/// 1-thread time and the bit-identity verdict against the 1-thread output.
+void sweep_kernel(Table& table, const std::string& kernel, double gflop,
+                  const std::function<Tensor()>& fn) {
+  util::ThreadPool& pool = util::ThreadPool::global();
+  const int restore = pool.max_threads();
+  double serial_time = 0.0;
+  Tensor serial_out;
+  for (int width : sweep_widths()) {
+    pool.set_threads(width);
+    Tensor out;
+    const double time = seconds_of([&] { out = fn(); });
+    if (width == 1) {
+      serial_time = time;
+      serial_out = out;
+    }
+    const bool identical = out.max_abs_diff(serial_out) == 0.0f;
+    g_all_identical = g_all_identical && identical;
+    char gflops[32], speedup[32];
+    std::snprintf(gflops, sizeof gflops, "%.2f", gflop / time);
+    std::snprintf(speedup, sizeof speedup, "%.2fx", serial_time / time);
+    table.add_row({kernel, std::to_string(width), format_time(time), gflops,
+                   speedup, identical ? "yes" : "NO"});
+  }
+  pool.set_threads(restore);
+}
+
+}  // namespace
+
+static void BM_Matmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(7);
+  const Tensor a = Tensor::randn(n, n, rng);
+  const Tensor b = Tensor::randn(n, n, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(num::matmul(a, b));
+}
+BENCHMARK(BM_Matmul)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  slimbench::open_report("numerics_kernels");
+  const bool smoke = smoke_mode();
+  slimbench::print_banner(
+      "numerics kernels on the parallel engine",
+      smoke ? "smoke shapes (SLIMPIPE_BENCH_SMOKE)" : "full shapes",
+      "near-linear speedup until memory bandwidth saturates; outputs "
+      "bit-identical at every thread count (the determinism contract)");
+
+  Rng rng(7);
+  Table table({"kernel", "threads", "time", "GFLOP/s", "speedup",
+               "bit-identical"});
+
+  // --- matmul: the roadmap's speedup target is quoted on 1024^3 ---
+  {
+    const std::int64_t n = smoke ? 128 : 1024;
+    const Tensor a = Tensor::randn(n, n, rng);
+    const Tensor b = Tensor::randn(n, n, rng);
+    const double gflop = 2.0 * static_cast<double>(n) * n * n * 1e-9;
+    sweep_kernel(table, "matmul " + std::to_string(n) + "^3", gflop,
+                 [&] { return num::matmul(a, b); });
+    sweep_kernel(table, "matmul_nt " + std::to_string(n) + "^3", gflop,
+                 [&] { return num::matmul_nt(a, b); });
+    sweep_kernel(table, "matmul_tn " + std::to_string(n) + "^3", gflop,
+                 [&] { return num::matmul_tn(a, b); });
+  }
+
+  // --- rmsnorm over a long activation slab ---
+  {
+    const std::int64_t rows = smoke ? 256 : 8192, cols = smoke ? 128 : 1024;
+    const Tensor x = Tensor::randn(rows, cols, rng);
+    Tensor w(1, cols);
+    w.fill(1.0f);
+    const double gflop = 3.0 * static_cast<double>(rows) * cols * 1e-9;
+    sweep_kernel(table, "rmsnorm", gflop, [&] { return num::rmsnorm(x, w); });
+  }
+
+  // --- transformer block forward (one slice; the runtime's unit of work) ---
+  {
+    num::BlockDims dims;
+    dims.hidden = smoke ? 128 : 512;
+    dims.heads = 8;
+    dims.kv_heads = 4;
+    dims.ffn = smoke ? 256 : 1536;
+    const std::int64_t s = smoke ? 128 : 1024;
+    num::Layer layer(dims, num::LayerWeights::random(dims, rng));
+    const Tensor x = Tensor::randn(s, dims.hidden, rng);
+    // Projections + FFN + attention (scores and values), approximately.
+    const double gflop =
+        (2.0 * s * dims.hidden *
+             (2.0 * dims.hidden + 2.0 * dims.kv_hidden() + 3.0 * dims.ffn) +
+         4.0 * s * s * dims.hidden) *
+        1e-9;
+    sweep_kernel(table, "block fwd", gflop, [&] {
+      layer.reset();
+      return layer.forward_slice(x, 0, 0);
+    });
+  }
+
+  // --- cross entropy (the output head's loss kernel) ---
+  {
+    const std::int64_t tokens = smoke ? 256 : 4096;
+    const std::int64_t vocab = smoke ? 512 : 8192;
+    const Tensor logits = Tensor::randn(tokens, vocab, rng);
+    std::vector<std::int64_t> targets(static_cast<std::size_t>(tokens));
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      targets[t] = static_cast<std::int64_t>(t) % vocab;
+    }
+    const double gflop = 5.0 * static_cast<double>(tokens) * vocab * 1e-9;
+    sweep_kernel(table, "cross entropy", gflop,
+                 [&] { return num::cross_entropy(logits, targets).dlogits; });
+  }
+
+  slimbench::print_table("kernel throughput vs pool width", table);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  if (!g_all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: some kernel output was not bit-identical across "
+                 "pool widths\n");
+    return 1;
+  }
+  return 0;
+}

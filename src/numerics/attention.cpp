@@ -4,10 +4,19 @@
 #include <cmath>
 #include <limits>
 
+#include "src/util/thread_pool.hpp"
+
 namespace slim::num {
 
 namespace {
 constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+// Query rows per chunk. Rows are independent in the forward (each owns its
+// own online-softmax state) so chunks write disjoint rows; the backward's
+// dk/dv reductions keep per-chunk partials folded in chunk order.
+constexpr std::int64_t kQueryGrain = 8;
+
+util::ThreadPool& pool() { return util::ThreadPool::global(); }
 }
 
 AttnPartial attn_partial(const Tensor& q, const Tensor& k, const Tensor& v,
@@ -21,35 +30,39 @@ AttnPartial attn_partial(const Tensor& q, const Tensor& k, const Tensor& v,
   part.m.assign(static_cast<std::size_t>(s), kNegInf);
   part.l.assign(static_cast<std::size_t>(s), 0.0f);
 
-  for (std::int64_t i = 0; i < s; ++i) {
-    const std::int64_t visible =
-        std::clamp<std::int64_t>(q_offset + i - k_offset + 1, 0, kv);
-    if (visible == 0) continue;
-    // Row scores and max.
-    float m = kNegInf;
-    std::vector<float> scores(static_cast<std::size_t>(visible));
-    for (std::int64_t j = 0; j < visible; ++j) {
-      double dot = 0.0;
-      for (std::int64_t c = 0; c < q.cols(); ++c) {
-        dot += static_cast<double>(q.at(i, c)) * k.at(j, c);
+  pool().parallel_for(0, s, kQueryGrain, [&](std::int64_t i0,
+                                             std::int64_t i1) {
+    std::vector<float> scores;
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const std::int64_t visible =
+          std::clamp<std::int64_t>(q_offset + i - k_offset + 1, 0, kv);
+      if (visible == 0) continue;
+      // Row scores and max.
+      float m = kNegInf;
+      scores.assign(static_cast<std::size_t>(visible), 0.0f);
+      for (std::int64_t j = 0; j < visible; ++j) {
+        double dot = 0.0;
+        for (std::int64_t c = 0; c < q.cols(); ++c) {
+          dot += static_cast<double>(q.at(i, c)) * k.at(j, c);
+        }
+        const float sc = static_cast<float>(dot) * scale;
+        scores[static_cast<std::size_t>(j)] = sc;
+        m = std::max(m, sc);
       }
-      const float sc = static_cast<float>(dot) * scale;
-      scores[static_cast<std::size_t>(j)] = sc;
-      m = std::max(m, sc);
-    }
-    double l = 0.0;
-    for (std::int64_t j = 0; j < visible; ++j) {
-      const float w = std::exp(scores[static_cast<std::size_t>(j)] - m);
-      l += w;
-      for (std::int64_t c = 0; c < d; ++c) {
-        part.out.at(i, c) += w * v.at(j, c);
+      double l = 0.0;
+      for (std::int64_t j = 0; j < visible; ++j) {
+        const float w = std::exp(scores[static_cast<std::size_t>(j)] - m);
+        l += w;
+        for (std::int64_t c = 0; c < d; ++c) {
+          part.out.at(i, c) += w * v.at(j, c);
+        }
       }
+      const float inv_l = 1.0f / static_cast<float>(l);
+      for (std::int64_t c = 0; c < d; ++c) part.out.at(i, c) *= inv_l;
+      part.m[static_cast<std::size_t>(i)] = m;
+      part.l[static_cast<std::size_t>(i)] = static_cast<float>(l);
     }
-    const float inv_l = 1.0f / static_cast<float>(l);
-    for (std::int64_t c = 0; c < d; ++c) part.out.at(i, c) *= inv_l;
-    part.m[static_cast<std::size_t>(i)] = m;
-    part.l[static_cast<std::size_t>(i)] = static_cast<float>(l);
-  }
+  });
   return part;
 }
 
@@ -61,7 +74,9 @@ AttnPartial attn_merge(const AttnPartial& a, const AttnPartial& b) {
   out.out = Tensor(s, d);
   out.m.assign(static_cast<std::size_t>(s), kNegInf);
   out.l.assign(static_cast<std::size_t>(s), 0.0f);
-  for (std::int64_t i = 0; i < s; ++i) {
+  pool().parallel_for(0, s, kQueryGrain, [&](std::int64_t i0,
+                                             std::int64_t i1) {
+  for (std::int64_t i = i0; i < i1; ++i) {
     const std::size_t si = static_cast<std::size_t>(i);
     const float la = a.l[si], lb = b.l[si];
     if (la == 0.0f && lb == 0.0f) continue;
@@ -87,6 +102,7 @@ AttnPartial attn_merge(const AttnPartial& a, const AttnPartial& b) {
     out.m[si] = m;
     out.l[si] = l;
   }
+  });
   return out;
 }
 
@@ -181,13 +197,16 @@ void attn_streamed_bwd(const Tensor& q, const std::vector<KvChunk>& chunks,
   // D_i = dout_i . out_i — the flash-attention rowsum shortcut that spares
   // a second pass over all chunks.
   std::vector<float> D(static_cast<std::size_t>(s), 0.0f);
-  for (std::int64_t i = 0; i < s; ++i) {
-    double sum = 0.0;
-    for (std::int64_t c = 0; c < d; ++c) {
-      sum += static_cast<double>(dout.at(i, c)) * fwd.out.at(i, c);
+  pool().parallel_for(0, s, kQueryGrain,
+                      [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      double sum = 0.0;
+      for (std::int64_t c = 0; c < d; ++c) {
+        sum += static_cast<double>(dout.at(i, c)) * fwd.out.at(i, c);
+      }
+      D[static_cast<std::size_t>(i)] = static_cast<float>(sum);
     }
-    D[static_cast<std::size_t>(i)] = static_cast<float>(sum);
-  }
+  });
 
   for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
     const KvChunk& chunk = chunks[ci];
@@ -196,33 +215,51 @@ void attn_streamed_bwd(const Tensor& q, const std::vector<KvChunk>& chunks,
     SLIM_CHECK(dk.rows() == chunk.k.rows() && dv.rows() == chunk.v.rows(),
                "chunk gradient shape mismatch");
     const std::int64_t kv = chunk.k.rows();
-    for (std::int64_t i = 0; i < s; ++i) {
-      const std::size_t si = static_cast<std::size_t>(i);
-      if (fwd.l[si] == 0.0f) continue;
-      const std::int64_t visible =
-          std::clamp<std::int64_t>(q_offset + i - chunk.pos + 1, 0, kv);
-      const float inv_l = 1.0f / fwd.l[si];
-      for (std::int64_t j = 0; j < visible; ++j) {
-        double dot = 0.0;
-        for (std::int64_t c = 0; c < q.cols(); ++c) {
-          dot += static_cast<double>(q.at(i, c)) * chunk.k.at(j, c);
-        }
-        const float pj =
-            std::exp(static_cast<float>(dot) * scale - fwd.m[si]) * inv_l;
-        double dpj = 0.0;
-        for (std::int64_t c = 0; c < d; ++c) {
-          dpj += static_cast<double>(dout.at(i, c)) * chunk.v.at(j, c);
-        }
-        const float ds =
-            pj * (static_cast<float>(dpj) - D[si]) * scale;
-        for (std::int64_t c = 0; c < q.cols(); ++c) {
-          dq.at(i, c) += ds * chunk.k.at(j, c);
-          dk.at(j, c) += ds * q.at(i, c);
-        }
-        for (std::int64_t c = 0; c < d; ++c) {
-          dv.at(j, c) += pj * dout.at(i, c);
+    // dq rows are disjoint across query chunks; dk/dv reduce over query
+    // rows, so each chunk accumulates into its own partial and the
+    // partials fold in ascending chunk order below.
+    const std::int64_t n_qchunks = util::chunk_count(0, s, kQueryGrain);
+    std::vector<Tensor> dk_partials(static_cast<std::size_t>(n_qchunks));
+    std::vector<Tensor> dv_partials(static_cast<std::size_t>(n_qchunks));
+    pool().parallel_for(0, s, kQueryGrain,
+                        [&](std::int64_t i0, std::int64_t i1) {
+      const std::size_t qc = static_cast<std::size_t>(i0 / kQueryGrain);
+      dk_partials[qc] = Tensor(chunk.k.rows(), chunk.k.cols());
+      dv_partials[qc] = Tensor(chunk.v.rows(), chunk.v.cols());
+      Tensor& dkp = dk_partials[qc];
+      Tensor& dvp = dv_partials[qc];
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const std::size_t si = static_cast<std::size_t>(i);
+        if (fwd.l[si] == 0.0f) continue;
+        const std::int64_t visible =
+            std::clamp<std::int64_t>(q_offset + i - chunk.pos + 1, 0, kv);
+        const float inv_l = 1.0f / fwd.l[si];
+        for (std::int64_t j = 0; j < visible; ++j) {
+          double dot = 0.0;
+          for (std::int64_t c = 0; c < q.cols(); ++c) {
+            dot += static_cast<double>(q.at(i, c)) * chunk.k.at(j, c);
+          }
+          const float pj =
+              std::exp(static_cast<float>(dot) * scale - fwd.m[si]) * inv_l;
+          double dpj = 0.0;
+          for (std::int64_t c = 0; c < d; ++c) {
+            dpj += static_cast<double>(dout.at(i, c)) * chunk.v.at(j, c);
+          }
+          const float ds =
+              pj * (static_cast<float>(dpj) - D[si]) * scale;
+          for (std::int64_t c = 0; c < q.cols(); ++c) {
+            dq.at(i, c) += ds * chunk.k.at(j, c);
+            dkp.at(j, c) += ds * q.at(i, c);
+          }
+          for (std::int64_t c = 0; c < d; ++c) {
+            dvp.at(j, c) += pj * dout.at(i, c);
+          }
         }
       }
+    });
+    for (std::int64_t qc = 0; qc < n_qchunks; ++qc) {
+      dk.add_(dk_partials[static_cast<std::size_t>(qc)]);
+      dv.add_(dv_partials[static_cast<std::size_t>(qc)]);
     }
   }
 }

@@ -4,10 +4,15 @@
 #include <cmath>
 #include <limits>
 
+#include "src/util/thread_pool.hpp"
+
 namespace slim::num {
 
 namespace {
 constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+constexpr std::int64_t kTokenGrain = 16;
+
+util::ThreadPool& pool() { return util::ThreadPool::global(); }
 }
 
 CeResult cross_entropy(const Tensor& logits,
@@ -18,22 +23,31 @@ CeResult cross_entropy(const Tensor& logits,
   result.dlogits = Tensor(logits.rows(), logits.cols());
   const std::int64_t tokens = logits.rows(), vocab = logits.cols();
   const float inv_tokens = 1.0f / static_cast<float>(tokens);
-  for (std::int64_t t = 0; t < tokens; ++t) {
-    const std::int64_t y = targets[static_cast<std::size_t>(t)];
-    SLIM_CHECK(y >= 0 && y < vocab, "target out of vocabulary");
-    float m = kNegInf;
-    for (std::int64_t c = 0; c < vocab; ++c) m = std::max(m, logits.at(t, c));
-    double l = 0.0;
-    for (std::int64_t c = 0; c < vocab; ++c) {
-      l += std::exp(logits.at(t, c) - m);
+  // The scalar loss is a reduction over tokens: per-chunk partials, folded
+  // in ascending chunk order (thread-count independent).
+  const std::int64_t n_chunks = util::chunk_count(0, tokens, kTokenGrain);
+  std::vector<double> loss_partials(static_cast<std::size_t>(n_chunks), 0.0);
+  pool().parallel_for(0, tokens, kTokenGrain,
+                      [&](std::int64_t t0, std::int64_t t1) {
+    double& loss = loss_partials[static_cast<std::size_t>(t0 / kTokenGrain)];
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t y = targets[static_cast<std::size_t>(t)];
+      SLIM_CHECK(y >= 0 && y < vocab, "target out of vocabulary");
+      float m = kNegInf;
+      for (std::int64_t c = 0; c < vocab; ++c) m = std::max(m, logits.at(t, c));
+      double l = 0.0;
+      for (std::int64_t c = 0; c < vocab; ++c) {
+        l += std::exp(logits.at(t, c) - m);
+      }
+      loss += std::log(l) + m - logits.at(t, y);
+      for (std::int64_t c = 0; c < vocab; ++c) {
+        const float p =
+            static_cast<float>(std::exp(logits.at(t, c) - m) / l);
+        result.dlogits.at(t, c) = (p - (c == y ? 1.0f : 0.0f)) * inv_tokens;
+      }
     }
-    result.loss += std::log(l) + m - logits.at(t, y);
-    for (std::int64_t c = 0; c < vocab; ++c) {
-      const float p =
-          static_cast<float>(std::exp(logits.at(t, c) - m) / l);
-      result.dlogits.at(t, c) = (p - (c == y ? 1.0f : 0.0f)) * inv_tokens;
-    }
-  }
+  });
+  for (const double partial : loss_partials) result.loss += partial;
   result.loss /= static_cast<double>(tokens);
   return result;
 }
@@ -45,20 +59,23 @@ CeShardStats ce_shard_stats(const Tensor& shard, std::int64_t col_offset,
   stats.max_logit.assign(static_cast<std::size_t>(tokens), kNegInf);
   stats.sum_exp.assign(static_cast<std::size_t>(tokens), 0.0f);
   stats.target_logit.assign(static_cast<std::size_t>(tokens), kNegInf);
-  for (std::int64_t t = 0; t < tokens; ++t) {
-    float m = kNegInf;
-    for (std::int64_t c = 0; c < width; ++c) m = std::max(m, shard.at(t, c));
-    double l = 0.0;
-    for (std::int64_t c = 0; c < width; ++c) {
-      l += std::exp(shard.at(t, c) - m);
+  pool().parallel_for(0, tokens, kTokenGrain,
+                      [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      float m = kNegInf;
+      for (std::int64_t c = 0; c < width; ++c) m = std::max(m, shard.at(t, c));
+      double l = 0.0;
+      for (std::int64_t c = 0; c < width; ++c) {
+        l += std::exp(shard.at(t, c) - m);
+      }
+      stats.max_logit[static_cast<std::size_t>(t)] = m;
+      stats.sum_exp[static_cast<std::size_t>(t)] = static_cast<float>(l);
+      const std::int64_t y = targets[static_cast<std::size_t>(t)] - col_offset;
+      if (y >= 0 && y < width) {
+        stats.target_logit[static_cast<std::size_t>(t)] = shard.at(t, y);
+      }
     }
-    stats.max_logit[static_cast<std::size_t>(t)] = m;
-    stats.sum_exp[static_cast<std::size_t>(t)] = static_cast<float>(l);
-    const std::int64_t y = targets[static_cast<std::size_t>(t)] - col_offset;
-    if (y >= 0 && y < width) {
-      stats.target_logit[static_cast<std::size_t>(t)] = shard.at(t, y);
-    }
-  }
+  });
   return stats;
 }
 
@@ -114,15 +131,18 @@ ShardedCeResult cross_entropy_sharded(
   for (std::size_t s = 0; s < shards.size(); ++s) {
     const Tensor& shard = shards[s];
     Tensor grad(shard.rows(), shard.cols());
-    for (std::int64_t t = 0; t < tokens; ++t) {
-      const std::size_t ti = static_cast<std::size_t>(t);
-      const std::int64_t y = targets[ti] - offsets[s];
-      for (std::int64_t c = 0; c < shard.cols(); ++c) {
-        const float p = static_cast<float>(
-            std::exp(shard.at(t, c) - gmax[ti]) / gsum[ti]);
-        grad.at(t, c) = (p - (c == y ? 1.0f : 0.0f)) * inv_tokens;
+    pool().parallel_for(0, tokens, kTokenGrain,
+                        [&](std::int64_t t0, std::int64_t t1) {
+      for (std::int64_t t = t0; t < t1; ++t) {
+        const std::size_t ti = static_cast<std::size_t>(t);
+        const std::int64_t y = targets[ti] - offsets[s];
+        for (std::int64_t c = 0; c < shard.cols(); ++c) {
+          const float p = static_cast<float>(
+              std::exp(shard.at(t, c) - gmax[ti]) / gsum[ti]);
+          grad.at(t, c) = (p - (c == y ? 1.0f : 0.0f)) * inv_tokens;
+        }
       }
-    }
+    });
     result.dshards.push_back(std::move(grad));
   }
   return result;

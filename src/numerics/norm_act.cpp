@@ -1,25 +1,41 @@
 #include "src/numerics/norm_act.hpp"
 
 #include <cmath>
+#include <vector>
+
+#include "src/util/thread_pool.hpp"
 
 namespace slim::num {
+
+namespace {
+
+constexpr std::int64_t kRowGrain = 16;
+constexpr std::int64_t kFlatGrain = 1 << 14;
+
+util::ThreadPool& pool() { return util::ThreadPool::global(); }
+
+}  // namespace
 
 Tensor rmsnorm(const Tensor& x, const Tensor& weight) {
   SLIM_CHECK(weight.rows() == 1 && weight.cols() == x.cols(),
              "rmsnorm weight shape");
   Tensor y(x.rows(), x.cols());
   const std::int64_t n = x.cols();
-  for (std::int64_t r = 0; r < x.rows(); ++r) {
-    double mean_sq = 0.0;
-    for (std::int64_t c = 0; c < n; ++c) {
-      mean_sq += static_cast<double>(x.at(r, c)) * x.at(r, c);
+  pool().parallel_for(0, x.rows(), kRowGrain,
+                      [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      double mean_sq = 0.0;
+      for (std::int64_t c = 0; c < n; ++c) {
+        mean_sq += static_cast<double>(x.at(r, c)) * x.at(r, c);
+      }
+      mean_sq /= static_cast<double>(n);
+      const float inv_rms =
+          1.0f / std::sqrt(static_cast<float>(mean_sq) + kRmsEps);
+      for (std::int64_t c = 0; c < n; ++c) {
+        y.at(r, c) = x.at(r, c) * inv_rms * weight.at(0, c);
+      }
     }
-    mean_sq /= static_cast<double>(n);
-    const float inv_rms = 1.0f / std::sqrt(static_cast<float>(mean_sq) + kRmsEps);
-    for (std::int64_t c = 0; c < n; ++c) {
-      y.at(r, c) = x.at(r, c) * inv_rms * weight.at(0, c);
-    }
-  }
+  });
   return y;
 }
 
@@ -29,25 +45,38 @@ Tensor rmsnorm_bwd(const Tensor& x, const Tensor& weight, const Tensor& dy,
              "rmsnorm dweight shape");
   Tensor dx(x.rows(), x.cols());
   const std::int64_t n = x.cols();
-  for (std::int64_t r = 0; r < x.rows(); ++r) {
-    double mean_sq = 0.0;
-    for (std::int64_t c = 0; c < n; ++c) {
-      mean_sq += static_cast<double>(x.at(r, c)) * x.at(r, c);
+  // dweight is a reduction over rows: each chunk sums into its own partial,
+  // the partials are folded in ascending chunk order afterwards — the
+  // thread-count-independent combine.
+  const std::int64_t n_chunks = util::chunk_count(0, x.rows(), kRowGrain);
+  std::vector<Tensor> dweight_partials(static_cast<std::size_t>(n_chunks));
+  pool().parallel_for(0, x.rows(), kRowGrain,
+                      [&](std::int64_t r0, std::int64_t r1) {
+    Tensor& dw = dweight_partials[static_cast<std::size_t>(r0 / kRowGrain)];
+    dw = Tensor(1, n);
+    for (std::int64_t r = r0; r < r1; ++r) {
+      double mean_sq = 0.0;
+      for (std::int64_t c = 0; c < n; ++c) {
+        mean_sq += static_cast<double>(x.at(r, c)) * x.at(r, c);
+      }
+      mean_sq /= static_cast<double>(n);
+      const float rms2 = static_cast<float>(mean_sq) + kRmsEps;
+      const float inv_rms = 1.0f / std::sqrt(rms2);
+      // dot = sum_c x_c * w_c * dy_c
+      double dot = 0.0;
+      for (std::int64_t c = 0; c < n; ++c) {
+        dot += static_cast<double>(x.at(r, c)) * weight.at(0, c) * dy.at(r, c);
+        dw.at(0, c) += dy.at(r, c) * x.at(r, c) * inv_rms;
+      }
+      const float k = static_cast<float>(dot) /
+                      (static_cast<float>(n) * rms2) * inv_rms;
+      for (std::int64_t c = 0; c < n; ++c) {
+        dx.at(r, c) = dy.at(r, c) * weight.at(0, c) * inv_rms - x.at(r, c) * k;
+      }
     }
-    mean_sq /= static_cast<double>(n);
-    const float rms2 = static_cast<float>(mean_sq) + kRmsEps;
-    const float inv_rms = 1.0f / std::sqrt(rms2);
-    // dot = sum_c x_c * w_c * dy_c
-    double dot = 0.0;
-    for (std::int64_t c = 0; c < n; ++c) {
-      dot += static_cast<double>(x.at(r, c)) * weight.at(0, c) * dy.at(r, c);
-      dweight.at(0, c) += dy.at(r, c) * x.at(r, c) * inv_rms;
-    }
-    const float k = static_cast<float>(dot) /
-                    (static_cast<float>(n) * rms2) * inv_rms;
-    for (std::int64_t c = 0; c < n; ++c) {
-      dx.at(r, c) = dy.at(r, c) * weight.at(0, c) * inv_rms - x.at(r, c) * k;
-    }
+  });
+  for (const Tensor& dw : dweight_partials) {
+    if (dw.size() > 0) dweight.add_(dw);
   }
   return dx;
 }
@@ -63,9 +92,12 @@ Tensor swiglu(const Tensor& gate, const Tensor& up) {
   SLIM_CHECK(gate.rows() == up.rows() && gate.cols() == up.cols(),
              "swiglu shape mismatch");
   Tensor out(gate.rows(), gate.cols());
-  for (std::int64_t i = 0; i < gate.size(); ++i) {
-    out.data()[i] = silu(gate.data()[i]) * up.data()[i];
-  }
+  pool().parallel_for(0, gate.size(), kFlatGrain,
+                      [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      out.data()[i] = silu(gate.data()[i]) * up.data()[i];
+    }
+  });
   return out;
 }
 
@@ -73,10 +105,14 @@ void swiglu_bwd(const Tensor& gate, const Tensor& up, const Tensor& dout,
                 Tensor& dgate, Tensor& dup) {
   dgate = Tensor(gate.rows(), gate.cols());
   dup = Tensor(up.rows(), up.cols());
-  for (std::int64_t i = 0; i < gate.size(); ++i) {
-    dgate.data()[i] = dout.data()[i] * up.data()[i] * silu_grad(gate.data()[i]);
-    dup.data()[i] = dout.data()[i] * silu(gate.data()[i]);
-  }
+  pool().parallel_for(0, gate.size(), kFlatGrain,
+                      [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      dgate.data()[i] =
+          dout.data()[i] * up.data()[i] * silu_grad(gate.data()[i]);
+      dup.data()[i] = dout.data()[i] * silu(gate.data()[i]);
+    }
+  });
 }
 
 }  // namespace slim::num

@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/thread_pool.hpp"
+
 namespace slim::num {
+
+namespace {
+
+// Chunk widths for the parallel kernels. Fixed constants: chunk boundaries
+// are a pure function of the iteration range (never the thread count), the
+// determinism rule of src/util/thread_pool.hpp.
+constexpr std::int64_t kRowGrain = 16;       // output rows per chunk
+constexpr std::int64_t kFlatGrain = 1 << 14; // elements per chunk
+constexpr std::int64_t kKBlock = 128;        // k-panel kept hot in cache
+
+util::ThreadPool& pool() { return util::ThreadPool::global(); }
+
+}  // namespace
 
 Tensor Tensor::randn(std::int64_t rows, std::int64_t cols, Rng& rng,
                      float scale) {
@@ -26,12 +41,22 @@ Tensor Tensor::slice_rows(std::int64_t begin, std::int64_t end) const {
 Tensor Tensor::slice_cols(std::int64_t begin, std::int64_t end) const {
   SLIM_CHECK(0 <= begin && begin <= end && end <= cols_, "bad col slice");
   Tensor out(rows_, end - begin);
+  const std::int64_t width = end - begin;
   for (std::int64_t r = 0; r < rows_; ++r) {
-    for (std::int64_t c = begin; c < end; ++c) {
-      out.at(r, c - begin) = at(r, c);
-    }
+    const float* src = data() + r * cols_ + begin;
+    std::copy(src, src + width, out.data() + r * width);
   }
   return out;
+}
+
+void Tensor::assign_cols(std::int64_t col_begin, const Tensor& src) {
+  SLIM_CHECK(src.rows_ == rows_ && col_begin >= 0 &&
+                 col_begin + src.cols_ <= cols_,
+             "assign_cols shape mismatch");
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    const float* from = src.data() + r * src.cols_;
+    std::copy(from, from + src.cols_, data() + r * cols_ + col_begin);
+  }
 }
 
 Tensor Tensor::vcat(const std::vector<Tensor>& parts) {
@@ -59,16 +84,25 @@ void Tensor::add_(const Tensor& other) { add_scaled_(other, 1.0f); }
 void Tensor::add_scaled_(const Tensor& other, float scale) {
   SLIM_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
              "add_ shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += scale * other.data_[i];
-  }
+  float* dst = data_.data();
+  const float* src = other.data_.data();
+  pool().parallel_for(
+      0, static_cast<std::int64_t>(data_.size()), kFlatGrain,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) dst[i] += scale * src[i];
+      });
 }
 
 Tensor Tensor::transposed() const {
   Tensor out(cols_, rows_);
-  for (std::int64_t r = 0; r < rows_; ++r) {
-    for (std::int64_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
-  }
+  pool().parallel_for(0, rows_, kRowGrain,
+                      [&](std::int64_t r0, std::int64_t r1) {
+                        for (std::int64_t r = r0; r < r1; ++r) {
+                          for (std::int64_t c = 0; c < cols_; ++c) {
+                            out.at(c, r) = at(r, c);
+                          }
+                        }
+                      });
   return out;
 }
 
@@ -99,19 +133,34 @@ float Tensor::l2norm() const {
   return static_cast<float>(std::sqrt(sum));
 }
 
+// Accumulation policy (shared by all three matmul variants): fp32 partial
+// sums in ascending-k order, the same convention as fp32 GEMM on the
+// hardware the substrate stands in for. matmul_nt used to accumulate in
+// double, which made forward and backward projections round differently;
+// a single policy keeps the two paths' rounding symmetric. There is no
+// zero-operand fast path: 0 * NaN must stay NaN (IEEE propagation) and
+// kernel timing must not depend on the data.
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   SLIM_CHECK(a.cols() == b.rows(), "matmul shape mismatch");
   Tensor c(a.rows(), b.cols());
   const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = a.at(i, kk);
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + kk * n;
-      float* crow = c.data() + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  pool().parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    // Row-chunked saxpy form, k-panelled so the panel of B stays cached
+    // across the chunk's rows. Per output element the adds still happen in
+    // ascending-k order: identical bits to the unpanelled loop.
+    for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
+      const std::int64_t k1 = std::min(k, k0 + kKBlock);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = c.data() + i * n;
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const float av = a.at(i, kk);
+          const float* brow = b.data() + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -119,15 +168,18 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   SLIM_CHECK(a.cols() == b.cols(), "matmul_nt shape mismatch");
   Tensor c(a.rows(), b.rows());
   const std::int64_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      double sum = 0.0;
-      for (std::int64_t kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
-      c.at(i, j) = static_cast<float>(sum);
+  pool().parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = a.data() + i * k;
+      float* crow = c.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = b.data() + j * k;
+        float sum = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
+        crow[j] = sum;
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -135,16 +187,20 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   SLIM_CHECK(a.rows() == b.rows(), "matmul_tn shape mismatch");
   Tensor c(a.cols(), b.cols());
   const std::int64_t m = a.cols(), k = a.rows(), n = b.cols();
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = a.data() + kk * m;
-    const float* brow = b.data() + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.data() + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  pool().parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    // Chunk over output rows (columns of A); within a chunk keep k outer so
+    // each row of B streams once per chunk and is reused for every output
+    // row in it.
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float* arow = a.data() + kk * m;
+      const float* brow = b.data() + kk * n;
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float av = arow[i];
+        float* crow = c.data() + i * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 

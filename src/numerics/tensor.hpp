@@ -1,10 +1,13 @@
 #pragma once
 
 // Minimal dense float tensor (row-major, rank <= 2 semantics) for the
-// numerics substrate. This is deliberately simple: the substrate exists to
-// prove SlimPipe's slice-wise math (streaming causal attention, online
-// softmax merges, sharded-vocabulary losses, LIFO backward) is bit-for-bit
-// equivalent to monolithic execution, not to be fast.
+// numerics substrate. The substrate exists to prove SlimPipe's slice-wise
+// math (streaming causal attention, online softmax merges,
+// sharded-vocabulary losses, LIFO backward) is bit-for-bit equivalent to
+// monolithic execution. The hot kernels run on the shared parallel engine
+// (src/util/thread_pool.hpp) under its determinism contract: fixed
+// shape-derived chunking, index-ordered reduction, results bit-identical
+// across SLIMPIPE_THREADS settings.
 
 #include <cstdint>
 #include <vector>
@@ -58,6 +61,11 @@ class Tensor {
   /// Writes `src` into rows [row_begin, row_begin + src.rows()).
   void assign_rows(std::int64_t row_begin, const Tensor& src);
 
+  /// Writes `src` into columns [col_begin, col_begin + src.cols()) of every
+  /// row (row counts must match). Contiguous per-row copies — the writeback
+  /// twin of slice_cols.
+  void assign_cols(std::int64_t col_begin, const Tensor& src);
+
   /// Max absolute difference against `other` (shapes must match).
   float max_abs_diff(const Tensor& other) const;
   bool allclose(const Tensor& other, float atol = 1e-5f) const;
@@ -69,6 +77,11 @@ class Tensor {
   std::int64_t cols_ = 0;
   std::vector<float> data_;
 };
+
+// All three matmul variants share one accumulation policy: fp32 partial
+// sums in ascending-k order (no double-precision detours, no zero-operand
+// fast paths), so forward and backward projections round symmetrically and
+// NaN/Inf propagate per IEEE.
 
 /// C = A * B           (m x k) * (k x n)
 Tensor matmul(const Tensor& a, const Tensor& b);

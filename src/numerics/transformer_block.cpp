@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/thread_pool.hpp"
+
 namespace slim::num {
+
+namespace {
+
+util::ThreadPool& pool() { return util::ThreadPool::global(); }
+
+}  // namespace
 
 LayerWeights LayerWeights::random(const BlockDims& dims, Rng& rng) {
   const std::int64_t h = dims.hidden, kvh = dims.kv_hidden(), f = dims.ffn;
@@ -164,21 +172,23 @@ Tensor Layer::forward_slice(const Tensor& x, std::int64_t pos, int mb) {
   const Tensor v = matmul(h1, weights_.wv);
 
   // RoPE is applied per head (each head's feature pairs rotate with the
-  // same schedule).
-  for (std::int64_t head = 0; head < dims_.heads; ++head) {
-    Tensor qh = q.slice_cols(head * hd, (head + 1) * hd);
-    rope_apply(qh, pos);
-    for (std::int64_t r = 0; r < s; ++r) {
-      for (std::int64_t c = 0; c < hd; ++c) q.at(r, head * hd + c) = qh.at(r, c);
+  // same schedule). Heads touch disjoint column bands, so they rotate in
+  // parallel.
+  pool().parallel_for(0, dims_.heads, 1, [&](std::int64_t h0, std::int64_t h1) {
+    for (std::int64_t head = h0; head < h1; ++head) {
+      Tensor qh = q.slice_cols(head * hd, (head + 1) * hd);
+      rope_apply(qh, pos);
+      q.assign_cols(head * hd, qh);
     }
-  }
-  for (std::int64_t kh = 0; kh < dims_.kv_heads; ++kh) {
-    Tensor khh = k.slice_cols(kh * hd, (kh + 1) * hd);
-    rope_apply(khh, pos);
-    for (std::int64_t r = 0; r < s; ++r) {
-      for (std::int64_t c = 0; c < hd; ++c) k.at(r, kh * hd + c) = khh.at(r, c);
+  });
+  pool().parallel_for(0, dims_.kv_heads, 1,
+                      [&](std::int64_t h0, std::int64_t h1) {
+    for (std::int64_t kh = h0; kh < h1; ++kh) {
+      Tensor khh = k.slice_cols(kh * hd, (kh + 1) * hd);
+      rope_apply(khh, pos);
+      k.assign_cols(kh * hd, khh);
     }
-  }
+  });
   acts.q_rot = q;
 
   CacheChunk chunk;
@@ -194,25 +204,26 @@ Tensor Layer::forward_slice(const Tensor& x, std::int64_t pos, int mb) {
   acts.m.resize(static_cast<std::size_t>(dims_.heads));
   acts.l.resize(static_cast<std::size_t>(dims_.heads));
   const std::int64_t group = dims_.heads / dims_.kv_heads;
-  for (std::int64_t head = 0; head < dims_.heads; ++head) {
-    const std::int64_t kv_head = head / group;
-    const Tensor qh = q.slice_cols(head * hd, (head + 1) * hd);
-    std::vector<KvChunk> chunks;
-    chunks.reserve(st.cache.size());
-    for (const CacheChunk& cc : st.cache) {
-      chunks.push_back({cc.k.slice_cols(kv_head * hd, (kv_head + 1) * hd),
-                        cc.v.slice_cols(kv_head * hd, (kv_head + 1) * hd),
-                        cc.pos});
-    }
-    const AttnPartial part = attn_streamed(qh, chunks, pos, scale);
-    for (std::int64_t r = 0; r < s; ++r) {
-      for (std::int64_t c = 0; c < hd; ++c) {
-        attn_cat.at(r, head * hd + c) = part.out.at(r, c);
+  // Heads are independent in forward: disjoint columns of attn_cat and
+  // disjoint m/l slots. Attention kernels called from inside this loop run
+  // inline (nested parallel_for serializes).
+  pool().parallel_for(0, dims_.heads, 1, [&](std::int64_t h0, std::int64_t h1) {
+    for (std::int64_t head = h0; head < h1; ++head) {
+      const std::int64_t kv_head = head / group;
+      const Tensor qh = q.slice_cols(head * hd, (head + 1) * hd);
+      std::vector<KvChunk> chunks;
+      chunks.reserve(st.cache.size());
+      for (const CacheChunk& cc : st.cache) {
+        chunks.push_back({cc.k.slice_cols(kv_head * hd, (kv_head + 1) * hd),
+                          cc.v.slice_cols(kv_head * hd, (kv_head + 1) * hd),
+                          cc.pos});
       }
+      const AttnPartial part = attn_streamed(qh, chunks, pos, scale);
+      attn_cat.assign_cols(head * hd, part.out);
+      acts.m[static_cast<std::size_t>(head)] = part.m;
+      acts.l[static_cast<std::size_t>(head)] = part.l;
     }
-    acts.m[static_cast<std::size_t>(head)] = part.m;
-    acts.l[static_cast<std::size_t>(head)] = part.l;
-  }
+  });
   acts.attn_cat = attn_cat;
 
   Tensor x2 = matmul(attn_cat, weights_.wo);
@@ -270,37 +281,57 @@ Tensor Layer::backward_slice(const Tensor& dout, LayerGrads& grads, int mb) {
   const Tensor dattn_cat = matmul_nt(dx2, weights_.wo);
 
   // ---- per-head streamed attention backward ----
+  // Heads run in parallel into per-head buffers: heads that share a kv head
+  // (GQA) accumulate into the same dk/dv columns, so they must not write the
+  // cache-wide buffers concurrently. The merge below folds the per-head
+  // contributions serially in ascending head order — the same element-wise
+  // add sequence as the old serial loop, hence bit-identical and
+  // thread-count independent.
   Tensor dq(s, dims_.hidden);
+  std::vector<std::vector<Tensor>> dk_per_head(
+      static_cast<std::size_t>(dims_.heads));
+  std::vector<std::vector<Tensor>> dv_per_head(
+      static_cast<std::size_t>(dims_.heads));
+  pool().parallel_for(0, dims_.heads, 1, [&](std::int64_t h0, std::int64_t h1) {
+    for (std::int64_t head = h0; head < h1; ++head) {
+      const std::int64_t kv_head = head / group;
+      const Tensor qh = acts.q_rot.slice_cols(head * hd, (head + 1) * hd);
+      std::vector<KvChunk> chunks;
+      chunks.reserve(st.cache.size());
+      for (const CacheChunk& cc : st.cache) {
+        chunks.push_back({cc.k.slice_cols(kv_head * hd, (kv_head + 1) * hd),
+                          cc.v.slice_cols(kv_head * hd, (kv_head + 1) * hd),
+                          cc.pos});
+      }
+      AttnPartial fwd;
+      fwd.out = acts.attn_cat.slice_cols(head * hd, (head + 1) * hd);
+      fwd.m = acts.m[static_cast<std::size_t>(head)];
+      fwd.l = acts.l[static_cast<std::size_t>(head)];
+      const Tensor dout_h = dattn_cat.slice_cols(head * hd, (head + 1) * hd);
+
+      std::vector<Tensor>& dk_chunks =
+          dk_per_head[static_cast<std::size_t>(head)];
+      std::vector<Tensor>& dv_chunks =
+          dv_per_head[static_cast<std::size_t>(head)];
+      for (const CacheChunk& cc : st.cache) {
+        dk_chunks.emplace_back(cc.k.rows(), hd);
+        dv_chunks.emplace_back(cc.v.rows(), hd);
+      }
+      Tensor dqh;
+      attn_streamed_bwd(qh, chunks, acts.pos, scale, fwd, dout_h, dqh,
+                        dk_chunks, dv_chunks);
+      dq.assign_cols(head * hd, dqh);
+    }
+  });
+  // Accumulate into the cache-wide KV gradient buffers (contributions to
+  // earlier chunks wait there until those slices' own backward — the LIFO
+  // completion argument of §4.1.2).
   for (std::int64_t head = 0; head < dims_.heads; ++head) {
     const std::int64_t kv_head = head / group;
-    const Tensor qh = acts.q_rot.slice_cols(head * hd, (head + 1) * hd);
-    std::vector<KvChunk> chunks;
-    chunks.reserve(st.cache.size());
-    for (const CacheChunk& cc : st.cache) {
-      chunks.push_back({cc.k.slice_cols(kv_head * hd, (kv_head + 1) * hd),
-                        cc.v.slice_cols(kv_head * hd, (kv_head + 1) * hd),
-                        cc.pos});
-    }
-    AttnPartial fwd;
-    fwd.out = acts.attn_cat.slice_cols(head * hd, (head + 1) * hd);
-    fwd.m = acts.m[static_cast<std::size_t>(head)];
-    fwd.l = acts.l[static_cast<std::size_t>(head)];
-    const Tensor dout_h = dattn_cat.slice_cols(head * hd, (head + 1) * hd);
-
-    std::vector<Tensor> dk_chunks, dv_chunks;
-    for (const CacheChunk& cc : st.cache) {
-      dk_chunks.emplace_back(cc.k.rows(), hd);
-      dv_chunks.emplace_back(cc.v.rows(), hd);
-    }
-    Tensor dqh;
-    attn_streamed_bwd(qh, chunks, acts.pos, scale, fwd, dout_h, dqh,
-                      dk_chunks, dv_chunks);
-    for (std::int64_t r = 0; r < s; ++r) {
-      for (std::int64_t c = 0; c < hd; ++c) dq.at(r, head * hd + c) = dqh.at(r, c);
-    }
-    // Accumulate into the cache-wide KV gradient buffers (contributions to
-    // earlier chunks wait there until those slices' own backward — the LIFO
-    // completion argument of §4.1.2).
+    const std::vector<Tensor>& dk_chunks =
+        dk_per_head[static_cast<std::size_t>(head)];
+    const std::vector<Tensor>& dv_chunks =
+        dv_per_head[static_cast<std::size_t>(head)];
     for (std::size_t ci = 0; ci < st.cache.size(); ++ci) {
       CacheChunk& cc = st.cache[ci];
       for (std::int64_t r = 0; r < dk_chunks[ci].rows(); ++r) {
@@ -315,23 +346,22 @@ Tensor Layer::backward_slice(const Tensor& dout, LayerGrads& grads, int mb) {
   // ---- this slice's own KV chunk is now complete: project back ----
   CacheChunk own = std::move(st.cache.back());
   st.cache.pop_back();
-  // Undo RoPE on dq and dk.
-  for (std::int64_t head = 0; head < dims_.heads; ++head) {
-    Tensor dqh = dq.slice_cols(head * hd, (head + 1) * hd);
-    rope_apply_bwd(dqh, acts.pos);
-    for (std::int64_t r = 0; r < s; ++r) {
-      for (std::int64_t c = 0; c < hd; ++c) dq.at(r, head * hd + c) = dqh.at(r, c);
+  // Undo RoPE on dq and dk (disjoint column bands per head).
+  pool().parallel_for(0, dims_.heads, 1, [&](std::int64_t h0, std::int64_t h1) {
+    for (std::int64_t head = h0; head < h1; ++head) {
+      Tensor dqh = dq.slice_cols(head * hd, (head + 1) * hd);
+      rope_apply_bwd(dqh, acts.pos);
+      dq.assign_cols(head * hd, dqh);
     }
-  }
-  for (std::int64_t kh = 0; kh < dims_.kv_heads; ++kh) {
-    Tensor dkh = own.dk.slice_cols(kh * hd, (kh + 1) * hd);
-    rope_apply_bwd(dkh, acts.pos);
-    for (std::int64_t r = 0; r < s; ++r) {
-      for (std::int64_t c = 0; c < hd; ++c) {
-        own.dk.at(r, kh * hd + c) = dkh.at(r, c);
-      }
+  });
+  pool().parallel_for(0, dims_.kv_heads, 1,
+                      [&](std::int64_t h0, std::int64_t h1) {
+    for (std::int64_t kh = h0; kh < h1; ++kh) {
+      Tensor dkh = own.dk.slice_cols(kh * hd, (kh + 1) * hd);
+      rope_apply_bwd(dkh, acts.pos);
+      own.dk.assign_cols(kh * hd, dkh);
     }
-  }
+  });
 
   const Tensor h1 = rmsnorm(acts.x, weights_.norm1);  // recompute
   grads.wq.add_(matmul_tn(h1, dq));
@@ -443,9 +473,8 @@ double TinyModel::train_step(const std::vector<std::int64_t>& tokens,
     for (std::int64_t r = 0; r < slice_len; ++r) {
       const std::int64_t id = st.token_ids[static_cast<std::size_t>(r)];
       SLIM_CHECK(id >= 0 && id < vocab_, "token out of vocabulary");
-      for (std::int64_t c = 0; c < dims_.hidden; ++c) {
-        x.at(r, c) = embedding_.at(id, c);
-      }
+      const float* row = embedding_.data() + id * dims_.hidden;
+      std::copy(row, row + dims_.hidden, x.data() + r * dims_.hidden);
     }
     st.x_embed = x;
     for (Layer& layer : layers_) x = layer.forward_slice(x, pos);
@@ -474,11 +503,8 @@ double TinyModel::train_step(const std::vector<std::int64_t>& tokens,
       ShardedCeResult ce = cross_entropy_sharded(shards, slice_targets);
       loss = ce.loss;
       for (int k = 0; k < vocab_shards; ++k) {
-        for (std::int64_t r = 0; r < slice_len; ++r) {
-          for (std::int64_t c = 0; c < width; ++c) {
-            dlogits.at(r, k * width + c) = ce.dshards[static_cast<std::size_t>(k)].at(r, c);
-          }
-        }
+        dlogits.assign_cols(k * width,
+                            ce.dshards[static_cast<std::size_t>(k)]);
       }
     }
     total_loss += loss * slice_weight;

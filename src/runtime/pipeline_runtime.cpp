@@ -14,6 +14,7 @@
 #include "src/numerics/norm_act.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/table.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace slim::rt {
 
@@ -323,6 +324,14 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
     };
 
     auto worker_body = [&](int stage) {
+      // Stage workers run concurrently; cap each one's numerics-kernel
+      // fan-out so p stages don't each claim the whole pool. The cap never
+      // changes chunk boundaries, so gradients stay bit-identical.
+      const int pool_width = util::ThreadPool::global().max_threads();
+      const int kernel_cap = options.kernel_threads > 0
+                                 ? options.kernel_threads
+                                 : std::max(1, pool_width / std::max(1, p));
+      util::ScopedKernelThreads kernel_guard(kernel_cap);
       StageStatus& status = statuses[static_cast<std::size_t>(stage)];
       StageProbe& probe = probes[static_cast<std::size_t>(stage)];
       std::vector<MbStage>& stage_staged =

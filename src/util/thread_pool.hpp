@@ -1,0 +1,111 @@
+#pragma once
+
+// Shared parallel-execution layer for the numerics substrate.
+//
+// The pool exposes one primitive, `parallel_for`, which runs a callable over
+// a half-open index range split into fixed-size chunks. The determinism
+// contract every kernel in src/numerics is built on:
+//
+//   * chunk boundaries are a pure function of (begin, end, grain) — they
+//     NEVER depend on the thread count, so the set of per-chunk
+//     computations is identical whether the pool runs 1 or N threads;
+//   * each chunk must write disjoint state (rows of the output tensor,
+//     its own partial-reduction slot);
+//   * reductions combine per-chunk partials in ascending chunk order on
+//     the calling thread after the loop.
+//
+// Under those rules every kernel produces bit-identical results across
+// SLIMPIPE_THREADS ∈ {1, ..., N}, which is what keeps the threaded pipeline
+// runtime's gradient-accumulation order reproducible.
+//
+// Thread count: SLIMPIPE_THREADS env (>= 1). Unset or 0 falls back to
+// std::thread::hardware_concurrency(). 1 is the forced-serial mode for
+// reproducibility debugging: no worker threads are spawned and every
+// parallel_for runs inline (still chunk-by-chunk, in chunk order — the
+// same arithmetic as the parallel path by construction).
+//
+// Oversubscription: nested parallel_for calls from inside a pool worker run
+// inline, and ScopedKernelThreads lets an outer runtime (the pipeline stage
+// workers) cap how many pool threads any kernel launched from that thread
+// may fan out to.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/util/math.hpp"
+
+namespace slim::util {
+
+class ThreadPool {
+ public:
+  /// The process-wide kernel pool, created on first use with the thread
+  /// count from SLIMPIPE_THREADS (default: hardware concurrency).
+  static ThreadPool& global();
+
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured pool width (>= 1; 1 means forced serial).
+  int max_threads() const;
+
+  /// Joins the current workers and respawns the pool at `threads` wide.
+  /// Must not race a parallel_for in flight — intended for tests and
+  /// benches that sweep thread counts inside one process; production
+  /// configuration is the SLIMPIPE_THREADS env read once at startup.
+  void set_threads(int threads);
+
+  /// Runs fn(lo, hi) for every chunk [lo, hi) of [begin, end) with fixed
+  /// chunk width `grain` (last chunk ragged). Chunks may execute
+  /// concurrently and in any order; see the determinism contract above.
+  /// The calling thread participates; the first exception thrown by any
+  /// chunk is rethrown here after all chunks finished.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+ private:
+  struct Job;
+  void worker_loop();
+  static void run_chunks(Job& job);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::thread> workers_;
+  std::vector<std::shared_ptr<Job>> jobs_;
+  int configured_ = 1;
+  bool stop_ = false;
+};
+
+/// Number of chunks parallel_for will execute over [begin, end) at `grain`
+/// — for sizing per-chunk partial-reduction buffers.
+inline std::int64_t chunk_count(std::int64_t begin, std::int64_t end,
+                                std::int64_t grain) {
+  return end > begin ? ceil_div(end - begin, grain > 0 ? grain : 1) : 0;
+}
+
+/// RAII thread-local cap on kernel fan-out for parallel_for calls made from
+/// the current thread. The pipeline runtime wraps each stage worker in one
+/// so p stages x N kernel threads cannot oversubscribe the machine; 1
+/// forces kernels on this thread serial. 0 = uncapped (pool width).
+class ScopedKernelThreads {
+ public:
+  explicit ScopedKernelThreads(int cap);
+  ~ScopedKernelThreads();
+  ScopedKernelThreads(const ScopedKernelThreads&) = delete;
+  ScopedKernelThreads& operator=(const ScopedKernelThreads&) = delete;
+
+ private:
+  int previous_;
+};
+
+/// The cap installed by the innermost ScopedKernelThreads on this thread
+/// (0 = uncapped).
+int kernel_thread_cap();
+
+}  // namespace slim::util

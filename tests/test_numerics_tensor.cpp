@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "src/numerics/tensor.hpp"
 #include "src/util/rng.hpp"
 
@@ -124,6 +127,81 @@ TEST_F(MatmulTest, ShapeMismatchThrows) {
   EXPECT_THROW(matmul(a, b), std::logic_error);
   EXPECT_THROW(matmul_nt(a, b), std::logic_error);
   EXPECT_THROW(matmul_tn(a, b), std::logic_error);
+}
+
+TEST(TensorTest, AssignCols) {
+  Tensor t(3, 4);
+  Tensor src(3, 2);
+  src.fill(7.0f);
+  t.assign_cols(1, src);
+  for (std::int64_t r = 0; r < 3; ++r) {
+    EXPECT_FLOAT_EQ(t.at(r, 0), 0.0f);
+    EXPECT_FLOAT_EQ(t.at(r, 1), 7.0f);
+    EXPECT_FLOAT_EQ(t.at(r, 2), 7.0f);
+    EXPECT_FLOAT_EQ(t.at(r, 3), 0.0f);
+  }
+  EXPECT_THROW(t.assign_cols(3, src), std::logic_error);
+}
+
+TEST(TensorTest, SliceColsAssignColsRoundTrip) {
+  Rng rng(3);
+  const Tensor t = Tensor::randn(5, 7, rng);
+  Tensor rebuilt(5, 7);
+  rebuilt.assign_cols(0, t.slice_cols(0, 3));
+  rebuilt.assign_cols(3, t.slice_cols(3, 7));
+  EXPECT_TRUE(rebuilt.allclose(t, 0.0f));
+}
+
+// Regression: the matmul kernels once skipped zero left-hand operands as a
+// "fast path", which silently dropped NaN/Inf from the right-hand side
+// (0 * NaN must stay NaN per IEEE) and made kernel timing data-dependent.
+// All three variants must propagate non-finite values through zero rows.
+class MatmulNanTest : public MatmulTest {
+ protected:
+  static constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+  static constexpr float kInf = std::numeric_limits<float>::infinity();
+};
+
+TEST_F(MatmulNanTest, ZeroTimesNanPropagates) {
+  Tensor a(2, 3);  // all zeros
+  Tensor b(3, 2);
+  b.at(1, 0) = kNaN;
+  b.at(2, 1) = kInf;
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+  EXPECT_TRUE(std::isnan(c.at(1, 0)));
+  EXPECT_TRUE(std::isnan(c.at(0, 1)));  // 0 * inf = NaN
+}
+
+TEST_F(MatmulNanTest, NtZeroTimesNanPropagates) {
+  Tensor a(2, 3);  // all zeros
+  Tensor b(2, 3);  // rows are the transposed columns
+  b.at(0, 1) = kNaN;
+  b.at(1, 2) = kInf;
+  const Tensor c = matmul_nt(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+  EXPECT_TRUE(std::isnan(c.at(1, 0)));
+  EXPECT_TRUE(std::isnan(c.at(0, 1)));
+}
+
+TEST_F(MatmulNanTest, TnZeroTimesNanPropagates) {
+  Tensor a(3, 2);  // all zeros (k x m layout)
+  Tensor b(3, 2);
+  b.at(1, 0) = kNaN;
+  b.at(2, 1) = kInf;
+  const Tensor c = matmul_tn(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+  EXPECT_TRUE(std::isnan(c.at(1, 0)));
+  EXPECT_TRUE(std::isnan(c.at(0, 1)));
+}
+
+TEST_F(MatmulNanTest, NanInLeftOperandPropagates) {
+  Tensor a(2, 2), b(2, 2);
+  a.at(0, 0) = kNaN;
+  const Tensor c = matmul(a, b);       // B all zero: NaN * 0 = NaN
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+  EXPECT_TRUE(std::isnan(c.at(0, 1)));
+  EXPECT_FALSE(std::isnan(c.at(1, 0)));
 }
 
 }  // namespace

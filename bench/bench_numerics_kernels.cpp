@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/numerics/arena.hpp"
 #include "src/numerics/cross_entropy.hpp"
 #include "src/numerics/norm_act.hpp"
 #include "src/numerics/tensor.hpp"
@@ -57,7 +58,10 @@ std::vector<int> sweep_widths() {
 
 /// Runs `fn` (which returns the kernel output) at every pool width,
 /// appending one table row per width with GFLOP/s, speedup over the
-/// 1-thread time and the bit-identity verdict against the 1-thread output.
+/// 1-thread time, heap-allocation count, peak workspace bytes, and the
+/// bit-identity verdict against the 1-thread output. Workspace peak is the
+/// high-water mark across every thread's scratch arena during the call;
+/// allocs counts Tensor heap buffers the call churned.
 void sweep_kernel(Table& table, const std::string& kernel, double gflop,
                   const std::function<Tensor()>& fn) {
   util::ThreadPool& pool = util::ThreadPool::global();
@@ -67,7 +71,11 @@ void sweep_kernel(Table& table, const std::string& kernel, double gflop,
   for (int width : sweep_widths()) {
     pool.set_threads(width);
     Tensor out;
+    num::workspace_stats().reset();
+    const std::int64_t heap_before = num::tensor_heap_allocs();
     const double time = seconds_of([&] { out = fn(); });
+    const std::int64_t heap_allocs = num::tensor_heap_allocs() - heap_before;
+    const std::int64_t peak_ws = num::workspace_stats().total_peak_bytes();
     if (width == 1) {
       serial_time = time;
       serial_out = out;
@@ -78,7 +86,9 @@ void sweep_kernel(Table& table, const std::string& kernel, double gflop,
     std::snprintf(gflops, sizeof gflops, "%.2f", gflop / time);
     std::snprintf(speedup, sizeof speedup, "%.2fx", serial_time / time);
     table.add_row({kernel, std::to_string(width), format_time(time), gflops,
-                   speedup, identical ? "yes" : "NO"});
+                   speedup, std::to_string(heap_allocs),
+                   format_bytes(static_cast<double>(peak_ws)),
+                   identical ? "yes" : "NO"});
   }
   pool.set_threads(restore);
 }
@@ -104,8 +114,8 @@ int main(int argc, char** argv) {
       "bit-identical at every thread count (the determinism contract)");
 
   Rng rng(7);
-  Table table({"kernel", "threads", "time", "GFLOP/s", "speedup",
-               "bit-identical"});
+  Table table({"kernel", "threads", "time", "GFLOP/s", "speedup", "allocs",
+               "peak ws", "bit-identical"});
 
   // --- matmul: the roadmap's speedup target is quoted on 1024^3 ---
   {
@@ -169,6 +179,95 @@ int main(int argc, char** argv) {
 
   slimbench::print_table("kernel throughput vs pool width", table);
 
+  // --- arena vs heap ownership: block fwd+bwd over two slices ---
+  //
+  // The heap row churns one allocation per retained tensor per slice; the
+  // arena row routes all of them through one per-microbatch bump arena,
+  // collapsing the churn to block-granular reservations. In smoke mode the
+  // measured arena peaks also gate the process exit: each category's
+  // high-water mark must match Layer::slice_footprint's prediction for the
+  // peak slice count within 0.5 slice units (the reconciliation contract
+  // tests/test_arena.cpp asserts at model scale).
+  bool reconcile_ok = true;
+  {
+    num::BlockDims dims;
+    dims.hidden = smoke ? 128 : 512;
+    dims.heads = 8;
+    dims.kv_heads = 4;
+    dims.ffn = smoke ? 256 : 1536;
+    const std::int64_t s = smoke ? 128 : 1024;
+    const num::LayerWeights weights = num::LayerWeights::random(dims, rng);
+    const Tensor x0 = Tensor::randn(s, dims.hidden, rng);
+    const Tensor x1 = Tensor::randn(s, dims.hidden, rng);
+
+    Table ownership({"ownership", "time", "heap allocs", "arena allocs",
+                     "peak retained"});
+    const auto run = [&](num::ArenaStats* stats, const char* label) {
+      num::Layer layer(dims, weights);
+      if (stats != nullptr) layer.set_arena_stats(stats);
+      num::LayerGrads grads = num::LayerGrads::zeros(dims);
+      const std::int64_t heap_before = num::tensor_heap_allocs();
+      const std::int64_t arena_before = num::tensor_arena_allocs();
+      std::int64_t peak_retained = 0;
+      const double time = seconds_of([&] {
+        const Tensor y0 = layer.forward_slice(x0, 0);
+        const Tensor y1 = layer.forward_slice(x1, s);
+        if (stats != nullptr) peak_retained = stats->total_peak_bytes();
+        Tensor dy(y1.rows(), y1.cols());
+        dy.fill(0.01f);
+        layer.backward_slice(dy, grads);
+        Tensor dy0(y0.rows(), y0.cols());
+        dy0.fill(0.01f);
+        layer.backward_slice(dy0, grads);
+      });
+      ownership.add_row(
+          {label, format_time(time),
+           std::to_string(num::tensor_heap_allocs() - heap_before),
+           std::to_string(num::tensor_arena_allocs() - arena_before),
+           stats != nullptr
+               ? format_bytes(static_cast<double>(peak_retained))
+               : std::string("-")});
+    };
+    run(nullptr, "heap");
+    num::ArenaStats stats;
+    run(&stats, "arena");
+    slimbench::print_table("block fwd+bwd x2 slices: retained-tensor "
+                           "ownership",
+                           ownership);
+
+    // Reconcile the measured peaks against the analytical footprint: two
+    // slices live at the peak (both forwards done, no backward yet).
+    const num::Layer probe(dims, weights);
+    const auto fp = probe.slice_footprint(s);
+    const double kPeakSlices = 2.0;
+    const double kTolerance = 0.5;  // slice units
+    const struct {
+      const char* name;
+      std::int64_t measured;
+      std::int64_t unit;
+    } checks[] = {
+        {"activation", stats.peak_bytes(mem::kActivation),
+         fp.activation_bytes},
+        {"kv", stats.peak_bytes(mem::kKvCache), fp.kv_bytes},
+        {"grads", stats.peak_bytes(mem::kGrads), fp.grad_bytes},
+    };
+    for (const auto& check : checks) {
+      const double units = check.unit > 0
+                               ? static_cast<double>(check.measured) /
+                                     static_cast<double>(check.unit)
+                               : -1.0;
+      if (units < kPeakSlices - kTolerance ||
+          units > kPeakSlices + kTolerance) {
+        std::fprintf(stderr,
+                     "FAIL: measured %s peak %lld bytes is %.3f slice units "
+                     "(analytical prediction %.1f +- %.1f)\n",
+                     check.name, static_cast<long long>(check.measured),
+                     units, kPeakSlices, kTolerance);
+        reconcile_ok = false;
+      }
+    }
+  }
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   if (!g_all_identical) {
@@ -177,5 +276,6 @@ int main(int argc, char** argv) {
                  "pool widths\n");
     return 1;
   }
+  if (!reconcile_ok) return 1;
   return 0;
 }

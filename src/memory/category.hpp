@@ -1,0 +1,39 @@
+#pragma once
+
+// Logical memory categories shared by BOTH substrates: the analytical
+// tracker (src/memory/tracker.hpp) books simulated MemDelta records against
+// them, and the numerics arenas (src/numerics/arena.hpp) account real
+// allocations against the same indices — which is what makes the
+// measured-vs-analytical reconciliation (src/memory/reconcile.hpp) a
+// like-for-like comparison. Header-only on purpose: the numerics library
+// links neither the simulator nor the tracker.
+
+namespace slim::mem {
+
+enum Category : int {
+  kParams = 0,
+  kGrads,
+  kOptimizer,
+  kActivation,
+  kKvCache,
+  kLogits,
+  kCommBuffer,
+  kWorkspace,  // transient kernel scratch (measured substrate only)
+  kNumCategories,
+};
+
+constexpr const char* category_name(int category) {
+  switch (category) {
+    case kParams: return "params";
+    case kGrads: return "grads";
+    case kOptimizer: return "optimizer";
+    case kActivation: return "activation";
+    case kKvCache: return "kv_cache";
+    case kLogits: return "logits";
+    case kCommBuffer: return "comm_buffer";
+    case kWorkspace: return "workspace";
+    default: return "unknown";
+  }
+}
+
+}  // namespace slim::mem

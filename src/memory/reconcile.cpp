@@ -1,0 +1,67 @@
+#include "src/memory/reconcile.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "src/util/logging.hpp"
+
+namespace slim::mem {
+
+bool ReconcileReport::ok() const {
+  for (const ReconcileEntry& entry : entries) {
+    if (!entry.ok) return false;
+  }
+  return true;
+}
+
+std::string ReconcileReport::summary() const {
+  std::ostringstream out;
+  out << "measured-vs-analytical peaks (tolerance "
+      << unit_tolerance << " slice units):\n";
+  for (const ReconcileEntry& entry : entries) {
+    out << "  device " << entry.device << " "
+        << category_name(entry.category) << ": measured "
+        << entry.measured_units << "u vs analytical "
+        << entry.analytical_units << "u (|d| = " << entry.deviation_units
+        << ") " << (entry.ok ? "OK" : "MISMATCH") << "\n";
+  }
+  return out.str();
+}
+
+ReconcileReport reconcile_peaks(const MemoryReport& analytical,
+                                const std::vector<MeasuredPeak>& measured,
+                                double unit_tolerance) {
+  ReconcileReport report;
+  report.unit_tolerance = unit_tolerance;
+  for (const MeasuredPeak& peak : measured) {
+    SLIM_CHECK(peak.category >= 0 && peak.category < kNumCategories,
+               "reconcile category out of range");
+    SLIM_CHECK(peak.device >= 0 &&
+                   peak.device < static_cast<int>(analytical.devices.size()),
+               "reconcile device out of range");
+    const DeviceMemory& device =
+        analytical.devices[static_cast<std::size_t>(peak.device)];
+    ReconcileEntry entry;
+    entry.device = peak.device;
+    entry.category = peak.category;
+    if (peak.measured_unit_bytes <= 0.0 || peak.analytical_unit_bytes <= 0.0) {
+      // Nothing to normalize by: report as a failure, not a silent skip.
+      entry.deviation_units = std::numeric_limits<double>::infinity();
+      entry.ok = false;
+      report.entries.push_back(entry);
+      continue;
+    }
+    entry.measured_units = peak.measured_bytes / peak.measured_unit_bytes;
+    entry.analytical_units =
+        device.category_peak[static_cast<std::size_t>(peak.category)] /
+        peak.analytical_unit_bytes;
+    entry.deviation_units =
+        std::fabs(entry.measured_units - entry.analytical_units);
+    entry.ok = entry.deviation_units <= unit_tolerance;
+    report.entries.push_back(entry);
+  }
+  return report;
+}
+
+}  // namespace slim::mem

@@ -1,0 +1,57 @@
+#pragma once
+
+// Measured-vs-analytical footprint reconciliation.
+//
+// The analytical side (mem::replay_memory over a simulated schedule) books
+// model-scale bytes per slice; the measured side (num::ArenaStats sinks
+// under the threaded runtime) observes substrate-scale bytes per slice. The
+// two live on different byte scales but share one invariant: how many
+// slice-units of a category are simultaneously live at the peak. Each side
+// divides its peak by its own per-slice unit size and the quotients must
+// agree within a small tolerance (sub-slice bookkeeping differences — e.g.
+// rounding, small per-slice metadata — stay below one unit).
+
+#include <string>
+#include <vector>
+
+#include "src/memory/tracker.hpp"
+
+namespace slim::mem {
+
+/// One measured per-category peak from a runtime arena sink, paired with
+/// the per-slice unit sizes that convert both sides into slice units.
+struct MeasuredPeak {
+  int device = 0;
+  int category = 0;               // mem::Category the entry compares
+  double measured_bytes = 0.0;    // arena-measured high-water mark
+  double measured_unit_bytes = 0.0;    // measured bytes one slice retains
+  double analytical_unit_bytes = 0.0;  // analytical bytes one slice books
+};
+
+struct ReconcileEntry {
+  int device = 0;
+  int category = 0;
+  double measured_units = 0.0;
+  double analytical_units = 0.0;
+  double deviation_units = 0.0;  // |measured - analytical|
+  bool ok = false;
+};
+
+struct ReconcileReport {
+  std::vector<ReconcileEntry> entries;
+  double unit_tolerance = 0.0;
+
+  bool ok() const;
+  std::string summary() const;
+};
+
+/// Converts each side's peak into slice units and compares within
+/// `unit_tolerance` units. `analytical` supplies the per-device,
+/// per-category replayed peaks; one entry is produced per MeasuredPeak.
+/// Entries whose unit size is zero on either side cannot be normalized and
+/// are reported as failures (deviation = infinity) rather than skipped.
+ReconcileReport reconcile_peaks(const MemoryReport& analytical,
+                                const std::vector<MeasuredPeak>& measured,
+                                double unit_tolerance);
+
+}  // namespace slim::mem

@@ -8,19 +8,6 @@
 
 namespace slim::mem {
 
-const char* category_name(int category) {
-  switch (category) {
-    case kParams: return "params";
-    case kGrads: return "grads";
-    case kOptimizer: return "optimizer";
-    case kActivation: return "activation";
-    case kKvCache: return "kv_cache";
-    case kLogits: return "logits";
-    case kCommBuffer: return "comm_buffer";
-    default: return "unknown";
-  }
-}
-
 double MemoryReport::max_peak() const {
   double peak = 0.0;
   for (const DeviceMemory& dev : devices) peak = std::max(peak, dev.peak);
@@ -69,22 +56,31 @@ MemoryReport replay_memory(const sim::OpGraph& graph,
     int device;
     int category;
     double bytes;
+    int op_id;    // tie-break so same-time replays are order-independent
+    int seq;      // delta index within the op (ops can carry several)
   };
   std::vector<Event> events;
   for (const sim::Op& op : graph.ops()) {
     const sim::OpTiming& t = result.timings[static_cast<std::size_t>(op.id)];
+    int seq = 0;
     for (const sim::MemDelta& delta : op.mem) {
       events.push_back(Event{delta.at_end ? t.end : t.start, delta.device,
-                             delta.category, delta.bytes});
+                             delta.category, delta.bytes,
+                             static_cast<int>(op.id), seq++});
     }
   }
-  // Stable sort by time with frees (negative) applied before allocations at
-  // equal timestamps — matches a caching allocator that reuses the block
-  // freed by a backward for the next forward.
+  // Sort by time with frees applied before allocations at equal timestamps
+  // — matches a caching allocator that reuses the block freed by a backward
+  // for the next forward. Same-time same-sign ties break on (op id, delta
+  // index): the replay is a pure function of the graph, independent of the
+  // order ops happen to be stored in.
   std::stable_sort(events.begin(), events.end(),
                    [](const Event& a, const Event& b) {
                      if (a.time != b.time) return a.time < b.time;
-                     return a.bytes < b.bytes;
+                     const bool a_free = a.bytes < 0.0, b_free = b.bytes < 0.0;
+                     if (a_free != b_free) return a_free;
+                     if (a.op_id != b.op_id) return a.op_id < b.op_id;
+                     return a.seq < b.seq;
                    });
 
   MemoryReport report;

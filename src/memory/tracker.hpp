@@ -11,23 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "src/memory/category.hpp"
 #include "src/sim/executor.hpp"
 #include "src/sim/graph.hpp"
 
 namespace slim::mem {
-
-enum Category : int {
-  kParams = 0,
-  kGrads,
-  kOptimizer,
-  kActivation,
-  kKvCache,
-  kLogits,
-  kCommBuffer,
-  kNumCategories,
-};
-
-const char* category_name(int category);
 
 struct DeviceMemory {
   double peak = 0.0;      // peak total bytes

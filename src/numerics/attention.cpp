@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
+#include "src/numerics/arena.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace slim::num {
@@ -32,26 +34,27 @@ AttnPartial attn_partial(const Tensor& q, const Tensor& k, const Tensor& v,
 
   pool().parallel_for(0, s, kQueryGrain, [&](std::int64_t i0,
                                              std::int64_t i1) {
-    std::vector<float> scores;
+    // Score-row scratch from this worker's reusable workspace: every slot
+    // [0, visible) is written before it is read, so no zeroing is needed.
+    WorkspaceLease<float> scores(kv);
     for (std::int64_t i = i0; i < i1; ++i) {
       const std::int64_t visible =
           std::clamp<std::int64_t>(q_offset + i - k_offset + 1, 0, kv);
       if (visible == 0) continue;
       // Row scores and max.
       float m = kNegInf;
-      scores.assign(static_cast<std::size_t>(visible), 0.0f);
       for (std::int64_t j = 0; j < visible; ++j) {
         double dot = 0.0;
         for (std::int64_t c = 0; c < q.cols(); ++c) {
           dot += static_cast<double>(q.at(i, c)) * k.at(j, c);
         }
         const float sc = static_cast<float>(dot) * scale;
-        scores[static_cast<std::size_t>(j)] = sc;
+        scores[j] = sc;
         m = std::max(m, sc);
       }
       double l = 0.0;
       for (std::int64_t j = 0; j < visible; ++j) {
-        const float w = std::exp(scores[static_cast<std::size_t>(j)] - m);
+        const float w = std::exp(scores[j] - m);
         l += w;
         for (std::int64_t c = 0; c < d; ++c) {
           part.out.at(i, c) += w * v.at(j, c);
@@ -195,8 +198,9 @@ void attn_streamed_bwd(const Tensor& q, const std::vector<KvChunk>& chunks,
   const std::int64_t s = q.rows(), d = fwd.out.cols();
   dq = Tensor(q.rows(), q.cols());
   // D_i = dout_i . out_i — the flash-attention rowsum shortcut that spares
-  // a second pass over all chunks.
-  std::vector<float> D(static_cast<std::size_t>(s), 0.0f);
+  // a second pass over all chunks. Workspace-leased: every slot is written
+  // by the parallel pass before any chunk loop reads it.
+  WorkspaceLease<float> D(s);
   pool().parallel_for(0, s, kQueryGrain,
                       [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
@@ -204,7 +208,7 @@ void attn_streamed_bwd(const Tensor& q, const std::vector<KvChunk>& chunks,
       for (std::int64_t c = 0; c < d; ++c) {
         sum += static_cast<double>(dout.at(i, c)) * fwd.out.at(i, c);
       }
-      D[static_cast<std::size_t>(i)] = static_cast<float>(sum);
+      D[i] = static_cast<float>(sum);
     }
   });
 
@@ -215,19 +219,23 @@ void attn_streamed_bwd(const Tensor& q, const std::vector<KvChunk>& chunks,
     SLIM_CHECK(dk.rows() == chunk.k.rows() && dv.rows() == chunk.v.rows(),
                "chunk gradient shape mismatch");
     const std::int64_t kv = chunk.k.rows();
+    const std::int64_t kc = chunk.k.cols(), vc = chunk.v.cols();
     // dq rows are disjoint across query chunks; dk/dv reduce over query
-    // rows, so each chunk accumulates into its own partial and the
-    // partials fold in ascending chunk order below.
+    // rows, so each query chunk accumulates into its own partial slab and
+    // the slabs fold in ascending chunk order below — the thread-count
+    // independent combine. The slabs live in the CALLER's workspace (one
+    // lease instead of 2*n_qchunks fresh tensors); workers zero their own
+    // disjoint slab before accumulating into it.
     const std::int64_t n_qchunks = util::chunk_count(0, s, kQueryGrain);
-    std::vector<Tensor> dk_partials(static_cast<std::size_t>(n_qchunks));
-    std::vector<Tensor> dv_partials(static_cast<std::size_t>(n_qchunks));
+    WorkspaceLease<float> dk_partials(n_qchunks * kv * kc);
+    WorkspaceLease<float> dv_partials(n_qchunks * kv * vc);
     pool().parallel_for(0, s, kQueryGrain,
                         [&](std::int64_t i0, std::int64_t i1) {
-      const std::size_t qc = static_cast<std::size_t>(i0 / kQueryGrain);
-      dk_partials[qc] = Tensor(chunk.k.rows(), chunk.k.cols());
-      dv_partials[qc] = Tensor(chunk.v.rows(), chunk.v.cols());
-      Tensor& dkp = dk_partials[qc];
-      Tensor& dvp = dv_partials[qc];
+      const std::int64_t qc = i0 / kQueryGrain;
+      float* dkp = dk_partials.data() + qc * kv * kc;
+      float* dvp = dv_partials.data() + qc * kv * vc;
+      std::memset(dkp, 0, static_cast<std::size_t>(kv * kc) * sizeof(float));
+      std::memset(dvp, 0, static_cast<std::size_t>(kv * vc) * sizeof(float));
       for (std::int64_t i = i0; i < i1; ++i) {
         const std::size_t si = static_cast<std::size_t>(i);
         if (fwd.l[si] == 0.0f) continue;
@@ -246,20 +254,22 @@ void attn_streamed_bwd(const Tensor& q, const std::vector<KvChunk>& chunks,
             dpj += static_cast<double>(dout.at(i, c)) * chunk.v.at(j, c);
           }
           const float ds =
-              pj * (static_cast<float>(dpj) - D[si]) * scale;
+              pj * (static_cast<float>(dpj) - D[i]) * scale;
           for (std::int64_t c = 0; c < q.cols(); ++c) {
             dq.at(i, c) += ds * chunk.k.at(j, c);
-            dkp.at(j, c) += ds * q.at(i, c);
+            dkp[j * kc + c] += ds * q.at(i, c);
           }
           for (std::int64_t c = 0; c < d; ++c) {
-            dvp.at(j, c) += pj * dout.at(i, c);
+            dvp[j * vc + c] += pj * dout.at(i, c);
           }
         }
       }
     });
     for (std::int64_t qc = 0; qc < n_qchunks; ++qc) {
-      dk.add_(dk_partials[static_cast<std::size_t>(qc)]);
-      dv.add_(dv_partials[static_cast<std::size_t>(qc)]);
+      const float* dkp = dk_partials.data() + qc * kv * kc;
+      const float* dvp = dv_partials.data() + qc * kv * vc;
+      for (std::int64_t e = 0; e < kv * kc; ++e) dk.data()[e] += dkp[e];
+      for (std::int64_t e = 0; e < kv * vc; ++e) dv.data()[e] += dvp[e];
     }
   }
 }

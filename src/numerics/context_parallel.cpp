@@ -22,6 +22,8 @@ std::int64_t partial_bytes(const Tensor& q, const AttnPartial& part) {
 
 AttnPartial empty_partial(const Tensor& q) {
   AttnPartial part;
+  // Must stay zero-initialized: attn_merge weights this buffer by l (= 0
+  // here), and 0 * garbage would poison the merge if garbage held NaN/Inf.
   part.out = Tensor(q.rows(), q.cols());
   part.m.assign(static_cast<std::size_t>(q.rows()),
                 -std::numeric_limits<float>::infinity());

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/numerics/arena.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace slim::num {
@@ -20,16 +21,19 @@ CeResult cross_entropy(const Tensor& logits,
   SLIM_CHECK(static_cast<std::int64_t>(targets.size()) == logits.rows(),
              "one target per token required");
   CeResult result;
-  result.dlogits = Tensor(logits.rows(), logits.cols());
+  // Every row of dlogits is fully written by its owning chunk — uninit.
+  result.dlogits = Tensor::uninit(logits.rows(), logits.cols());
   const std::int64_t tokens = logits.rows(), vocab = logits.cols();
   const float inv_tokens = 1.0f / static_cast<float>(tokens);
   // The scalar loss is a reduction over tokens: per-chunk partials, folded
-  // in ascending chunk order (thread-count independent).
+  // in ascending chunk order (thread-count independent). Partial slots are
+  // workspace-leased; each worker zeroes its own slot before accumulating.
   const std::int64_t n_chunks = util::chunk_count(0, tokens, kTokenGrain);
-  std::vector<double> loss_partials(static_cast<std::size_t>(n_chunks), 0.0);
+  WorkspaceLease<double> loss_partials(n_chunks);
   pool().parallel_for(0, tokens, kTokenGrain,
                       [&](std::int64_t t0, std::int64_t t1) {
-    double& loss = loss_partials[static_cast<std::size_t>(t0 / kTokenGrain)];
+    double& loss = loss_partials[t0 / kTokenGrain];
+    loss = 0.0;
     for (std::int64_t t = t0; t < t1; ++t) {
       const std::int64_t y = targets[static_cast<std::size_t>(t)];
       SLIM_CHECK(y >= 0 && y < vocab, "target out of vocabulary");
@@ -47,7 +51,9 @@ CeResult cross_entropy(const Tensor& logits,
       }
     }
   });
-  for (const double partial : loss_partials) result.loss += partial;
+  for (std::int64_t ch = 0; ch < n_chunks; ++ch) {
+    result.loss += loss_partials[ch];
+  }
   result.loss /= static_cast<double>(tokens);
   return result;
 }
@@ -130,7 +136,8 @@ ShardedCeResult cross_entropy_sharded(
 
   for (std::size_t s = 0; s < shards.size(); ++s) {
     const Tensor& shard = shards[s];
-    Tensor grad(shard.rows(), shard.cols());
+    // Every element of grad is written exactly once — uninit is safe.
+    Tensor grad = Tensor::uninit(shard.rows(), shard.cols());
     pool().parallel_for(0, tokens, kTokenGrain,
                         [&](std::int64_t t0, std::int64_t t1) {
       for (std::int64_t t = t0; t < t1; ++t) {

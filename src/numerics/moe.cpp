@@ -156,7 +156,9 @@ Tensor moe_forward_grouped(const MoeDims& dims, const MoeWeights& w,
       }
     }
     if (tokens.empty()) continue;
-    Tensor batch(static_cast<std::int64_t>(tokens.size()), x.cols());
+    // Every row is assigned below — uninit is safe.
+    Tensor batch =
+        Tensor::uninit(static_cast<std::int64_t>(tokens.size()), x.cols());
     for (std::size_t i = 0; i < tokens.size(); ++i) {
       batch.assign_rows(static_cast<std::int64_t>(i),
                         x.slice_rows(tokens[i], tokens[i] + 1));

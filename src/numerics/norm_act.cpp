@@ -1,8 +1,9 @@
 #include "src/numerics/norm_act.hpp"
 
 #include <cmath>
-#include <vector>
+#include <cstring>
 
+#include "src/numerics/arena.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace slim::num {
@@ -19,7 +20,8 @@ util::ThreadPool& pool() { return util::ThreadPool::global(); }
 Tensor rmsnorm(const Tensor& x, const Tensor& weight) {
   SLIM_CHECK(weight.rows() == 1 && weight.cols() == x.cols(),
              "rmsnorm weight shape");
-  Tensor y(x.rows(), x.cols());
+  // Every element of y is written exactly once — uninit is safe.
+  Tensor y = Tensor::uninit(x.rows(), x.cols());
   const std::int64_t n = x.cols();
   pool().parallel_for(0, x.rows(), kRowGrain,
                       [&](std::int64_t r0, std::int64_t r1) {
@@ -43,17 +45,18 @@ Tensor rmsnorm_bwd(const Tensor& x, const Tensor& weight, const Tensor& dy,
                    Tensor& dweight) {
   SLIM_CHECK(dweight.rows() == 1 && dweight.cols() == x.cols(),
              "rmsnorm dweight shape");
-  Tensor dx(x.rows(), x.cols());
+  Tensor dx = Tensor::uninit(x.rows(), x.cols());
   const std::int64_t n = x.cols();
-  // dweight is a reduction over rows: each chunk sums into its own partial,
-  // the partials are folded in ascending chunk order afterwards — the
-  // thread-count-independent combine.
+  // dweight is a reduction over rows: each chunk sums into its own partial
+  // row, the partials are folded in ascending chunk order afterwards — the
+  // thread-count-independent combine. The partial rows come from the
+  // CALLER's workspace as one lease; workers zero their own disjoint row.
   const std::int64_t n_chunks = util::chunk_count(0, x.rows(), kRowGrain);
-  std::vector<Tensor> dweight_partials(static_cast<std::size_t>(n_chunks));
+  WorkspaceLease<float> dweight_partials(n_chunks * n);
   pool().parallel_for(0, x.rows(), kRowGrain,
                       [&](std::int64_t r0, std::int64_t r1) {
-    Tensor& dw = dweight_partials[static_cast<std::size_t>(r0 / kRowGrain)];
-    dw = Tensor(1, n);
+    float* dw = dweight_partials.data() + (r0 / kRowGrain) * n;
+    std::memset(dw, 0, static_cast<std::size_t>(n) * sizeof(float));
     for (std::int64_t r = r0; r < r1; ++r) {
       double mean_sq = 0.0;
       for (std::int64_t c = 0; c < n; ++c) {
@@ -66,7 +69,7 @@ Tensor rmsnorm_bwd(const Tensor& x, const Tensor& weight, const Tensor& dy,
       double dot = 0.0;
       for (std::int64_t c = 0; c < n; ++c) {
         dot += static_cast<double>(x.at(r, c)) * weight.at(0, c) * dy.at(r, c);
-        dw.at(0, c) += dy.at(r, c) * x.at(r, c) * inv_rms;
+        dw[c] += dy.at(r, c) * x.at(r, c) * inv_rms;
       }
       const float k = static_cast<float>(dot) /
                       (static_cast<float>(n) * rms2) * inv_rms;
@@ -75,8 +78,9 @@ Tensor rmsnorm_bwd(const Tensor& x, const Tensor& weight, const Tensor& dy,
       }
     }
   });
-  for (const Tensor& dw : dweight_partials) {
-    if (dw.size() > 0) dweight.add_(dw);
+  for (std::int64_t ch = 0; ch < n_chunks; ++ch) {
+    const float* dw = dweight_partials.data() + ch * n;
+    for (std::int64_t c = 0; c < n; ++c) dweight.at(0, c) += dw[c];
   }
   return dx;
 }
@@ -91,7 +95,8 @@ float silu_grad(float x) {
 Tensor swiglu(const Tensor& gate, const Tensor& up) {
   SLIM_CHECK(gate.rows() == up.rows() && gate.cols() == up.cols(),
              "swiglu shape mismatch");
-  Tensor out(gate.rows(), gate.cols());
+  // Every element of out is written exactly once — uninit is safe.
+  Tensor out = Tensor::uninit(gate.rows(), gate.cols());
   pool().parallel_for(0, gate.size(), kFlatGrain,
                       [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {
@@ -103,8 +108,9 @@ Tensor swiglu(const Tensor& gate, const Tensor& up) {
 
 void swiglu_bwd(const Tensor& gate, const Tensor& up, const Tensor& dout,
                 Tensor& dgate, Tensor& dup) {
-  dgate = Tensor(gate.rows(), gate.cols());
-  dup = Tensor(up.rows(), up.cols());
+  // Both outputs are fully written — uninit is safe.
+  dgate = Tensor::uninit(gate.rows(), gate.cols());
+  dup = Tensor::uninit(up.rows(), up.cols());
   pool().parallel_for(0, gate.size(), kFlatGrain,
                       [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "src/numerics/arena.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace slim::num {
@@ -20,27 +22,91 @@ util::ThreadPool& pool() { return util::ThreadPool::global(); }
 
 }  // namespace
 
+Tensor::Tensor(std::int64_t rows, std::int64_t cols, bool zero_fill)
+    : rows_(rows), cols_(cols) {
+  SLIM_CHECK(rows >= 0 && cols >= 0, "negative tensor shape");
+  allocate(zero_fill);
+}
+
+void Tensor::allocate(bool zero_fill) {
+  const std::int64_t n = rows_ * cols_;
+  if (n == 0) {
+    data_ = nullptr;
+    owned_ = false;
+    return;
+  }
+  Arena* arena = ArenaBinding::current_arena();
+  if (arena != nullptr) {
+    data_ = arena->allocate_floats(n, ArenaBinding::current_category());
+    owned_ = false;
+    detail::count_tensor_arena_alloc();
+  } else {
+    data_ = new float[static_cast<std::size_t>(n)];
+    owned_ = true;
+    detail::count_tensor_heap_alloc();
+  }
+  if (zero_fill) {
+    std::memset(data_, 0, static_cast<std::size_t>(n) * sizeof(float));
+  }
+}
+
+void Tensor::destroy() {
+  if (owned_) delete[] data_;
+  data_ = nullptr;
+  owned_ = false;
+}
+
+Tensor::Tensor(const Tensor& other) : rows_(other.rows_), cols_(other.cols_) {
+  allocate(/*zero_fill=*/false);
+  if (size() > 0) {
+    std::memcpy(data_, other.data_,
+                static_cast<std::size_t>(size()) * sizeof(float));
+  }
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  // Same-size assignment reuses the existing buffer (keeps repeated
+  // gradient staging from re-allocating); otherwise allocate fresh via the
+  // current thread's binding.
+  if (size() != other.size()) {
+    destroy();
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    allocate(/*zero_fill=*/false);
+  } else {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+  }
+  if (size() > 0) {
+    std::memcpy(data_, other.data_,
+                static_cast<std::size_t>(size()) * sizeof(float));
+  }
+  return *this;
+}
+
 Tensor Tensor::randn(std::int64_t rows, std::int64_t cols, Rng& rng,
                      float scale) {
-  Tensor t(rows, cols);
+  Tensor t = Tensor::uninit(rows, cols);
   for (std::int64_t i = 0; i < t.size(); ++i) {
-    t.data_[static_cast<std::size_t>(i)] = rng.next_float_symmetric(scale);
+    t.data_[i] = rng.next_float_symmetric(scale);
   }
   return t;
 }
 
 Tensor Tensor::slice_rows(std::int64_t begin, std::int64_t end) const {
   SLIM_CHECK(0 <= begin && begin <= end && end <= rows_, "bad row slice");
-  Tensor out(end - begin, cols_);
-  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin * cols_),
-            data_.begin() + static_cast<std::ptrdiff_t>(end * cols_),
-            out.data_.begin());
+  Tensor out = Tensor::uninit(end - begin, cols_);
+  if (out.size() > 0) {
+    std::memcpy(out.data_, data_ + begin * cols_,
+                static_cast<std::size_t>(out.size()) * sizeof(float));
+  }
   return out;
 }
 
 Tensor Tensor::slice_cols(std::int64_t begin, std::int64_t end) const {
   SLIM_CHECK(0 <= begin && begin <= end && end <= cols_, "bad col slice");
-  Tensor out(rows_, end - begin);
+  Tensor out = Tensor::uninit(rows_, end - begin);
   const std::int64_t width = end - begin;
   for (std::int64_t r = 0; r < rows_; ++r) {
     const float* src = data() + r * cols_ + begin;
@@ -66,7 +132,7 @@ Tensor Tensor::vcat(const std::vector<Tensor>& parts) {
     SLIM_CHECK(p.cols() == parts.front().cols(), "vcat column mismatch");
     rows += p.rows();
   }
-  Tensor out(rows, parts.front().cols());
+  Tensor out = Tensor::uninit(rows, parts.front().cols());
   std::int64_t r = 0;
   for (const Tensor& p : parts) {
     out.assign_rows(r, p);
@@ -76,7 +142,7 @@ Tensor Tensor::vcat(const std::vector<Tensor>& parts) {
 }
 
 void Tensor::fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data_, data_ + size(), value);
 }
 
 void Tensor::add_(const Tensor& other) { add_scaled_(other, 1.0f); }
@@ -84,17 +150,17 @@ void Tensor::add_(const Tensor& other) { add_scaled_(other, 1.0f); }
 void Tensor::add_scaled_(const Tensor& other, float scale) {
   SLIM_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
              "add_ shape mismatch");
-  float* dst = data_.data();
-  const float* src = other.data_.data();
+  float* dst = data_;
+  const float* src = other.data_;
   pool().parallel_for(
-      0, static_cast<std::int64_t>(data_.size()), kFlatGrain,
+      0, size(), kFlatGrain,
       [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t i = lo; i < hi; ++i) dst[i] += scale * src[i];
       });
 }
 
 Tensor Tensor::transposed() const {
-  Tensor out(cols_, rows_);
+  Tensor out = Tensor::uninit(cols_, rows_);
   pool().parallel_for(0, rows_, kRowGrain,
                       [&](std::int64_t r0, std::int64_t r1) {
                         for (std::int64_t r = r0; r < r1; ++r) {
@@ -109,15 +175,17 @@ Tensor Tensor::transposed() const {
 void Tensor::assign_rows(std::int64_t row_begin, const Tensor& src) {
   SLIM_CHECK(src.cols_ == cols_ && row_begin + src.rows_ <= rows_,
              "assign_rows shape mismatch");
-  std::copy(src.data_.begin(), src.data_.end(),
-            data_.begin() + static_cast<std::ptrdiff_t>(row_begin * cols_));
+  if (src.size() > 0) {
+    std::memcpy(data_ + row_begin * cols_, src.data_,
+                static_cast<std::size_t>(src.size()) * sizeof(float));
+  }
 }
 
 float Tensor::max_abs_diff(const Tensor& other) const {
   SLIM_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
              "max_abs_diff shape mismatch");
   float best = 0.0f;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
+  for (std::int64_t i = 0; i < size(); ++i) {
     best = std::max(best, std::fabs(data_[i] - other.data_[i]));
   }
   return best;
@@ -129,7 +197,9 @@ bool Tensor::allclose(const Tensor& other, float atol) const {
 
 float Tensor::l2norm() const {
   double sum = 0.0;
-  for (float v : data_) sum += static_cast<double>(v) * v;
+  for (std::int64_t i = 0; i < size(); ++i) {
+    sum += static_cast<double>(data_[i]) * data_[i];
+  }
   return static_cast<float>(std::sqrt(sum));
 }
 
@@ -143,7 +213,7 @@ float Tensor::l2norm() const {
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   SLIM_CHECK(a.cols() == b.rows(), "matmul shape mismatch");
-  Tensor c(a.rows(), b.cols());
+  Tensor c(a.rows(), b.cols());  // zero-init: the k-panels accumulate
   const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
   pool().parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
     // Row-chunked saxpy form, k-panelled so the panel of B stays cached
@@ -166,7 +236,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   SLIM_CHECK(a.cols() == b.cols(), "matmul_nt shape mismatch");
-  Tensor c(a.rows(), b.rows());
+  // Every output element is written exactly once — uninit is safe.
+  Tensor c = Tensor::uninit(a.rows(), b.rows());
   const std::int64_t m = a.rows(), k = a.cols(), n = b.rows();
   pool().parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
@@ -185,7 +256,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   SLIM_CHECK(a.rows() == b.rows(), "matmul_tn shape mismatch");
-  Tensor c(a.cols(), b.cols());
+  Tensor c(a.cols(), b.cols());  // zero-init: accumulates over k
   const std::int64_t m = a.cols(), k = a.rows(), n = b.cols();
   pool().parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
     // Chunk over output rows (columns of A); within a chunk keep k outer so

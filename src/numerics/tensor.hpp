@@ -8,8 +8,15 @@
 // (src/util/thread_pool.hpp) under its determinism contract: fixed
 // shape-derived chunking, index-ordered reduction, results bit-identical
 // across SLIMPIPE_THREADS settings.
+//
+// Storage is ownership-aware (src/numerics/arena.hpp): a tensor's buffer
+// either comes from the heap (owned, freed by the destructor) or from the
+// arena bound to the constructing thread (non-owning; reclaimed when the
+// arena scope that covers it is released). Copies are always deep and
+// allocate through the same policy, so value semantics are unchanged.
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/util/logging.hpp"
@@ -20,11 +27,28 @@ namespace slim::num {
 class Tensor {
  public:
   Tensor() = default;
-  Tensor(std::int64_t rows, std::int64_t cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<std::size_t>(rows * cols), 0.0f) {
-    SLIM_CHECK(rows >= 0 && cols >= 0, "negative tensor shape");
+  /// Zero-initialized (safe default: several kernels accumulate into their
+  /// output, and attn_merge's skipped rows rely on zeros).
+  Tensor(std::int64_t rows, std::int64_t cols) : Tensor(rows, cols, true) {}
+
+  /// UNINITIALIZED storage: only for outputs every element of which is
+  /// overwritten before being read (slice copies, transposes, matmul_nt,
+  /// rmsnorm/swiglu outputs, vcat). Never for accumulator outputs.
+  static Tensor uninit(std::int64_t rows, std::int64_t cols) {
+    return Tensor(rows, cols, false);
   }
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept { steal(other); }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      steal(other);
+    }
+    return *this;
+  }
+  ~Tensor() { destroy(); }
 
   static Tensor randn(std::int64_t rows, std::int64_t cols, Rng& rng,
                       float scale = 0.1f);
@@ -33,15 +57,17 @@ class Tensor {
   std::int64_t cols() const { return cols_; }
   std::int64_t size() const { return rows_ * cols_; }
   bool empty() const { return size() == 0; }
+  /// True when the buffer came from a bound arena (non-owning storage).
+  bool arena_backed() const { return data_ != nullptr && !owned_; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
 
   float& at(std::int64_t r, std::int64_t c) {
-    return data_[static_cast<std::size_t>(r * cols_ + c)];
+    return data_[r * cols_ + c];
   }
   float at(std::int64_t r, std::int64_t c) const {
-    return data_[static_cast<std::size_t>(r * cols_ + c)];
+    return data_[r * cols_ + c];
   }
 
   /// Rows [begin, end) as a copy.
@@ -50,7 +76,8 @@ class Tensor {
   /// Columns [begin, end) as a copy.
   Tensor slice_cols(std::int64_t begin, std::int64_t end) const;
 
-  /// Stacks `parts` vertically (all must share cols).
+  /// Stacks `parts` vertically (all must share cols). Sizes the result
+  /// once (uninitialized) and writes each part via assign_rows.
   static Tensor vcat(const std::vector<Tensor>& parts);
 
   void fill(float value);
@@ -73,9 +100,24 @@ class Tensor {
   float l2norm() const;
 
  private:
+  Tensor(std::int64_t rows, std::int64_t cols, bool zero_fill);
+
+  void allocate(bool zero_fill);
+  void destroy();
+  void steal(Tensor& other) {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = other.data_;
+    owned_ = other.owned_;
+    other.rows_ = other.cols_ = 0;
+    other.data_ = nullptr;
+    other.owned_ = false;
+  }
+
   std::int64_t rows_ = 0;
   std::int64_t cols_ = 0;
-  std::vector<float> data_;
+  float* data_ = nullptr;
+  bool owned_ = false;  // heap-backed (delete[] on destroy) vs arena/null
 };
 
 // All three matmul variants share one accumulation policy: fp32 partial

@@ -11,6 +11,20 @@ namespace {
 
 util::ThreadPool& pool() { return util::ThreadPool::global(); }
 
+/// Retains a temporary: deep-copies into `arena` under `category` when
+/// arenas are enabled, otherwise adopts the heap buffer unchanged (move).
+Tensor retain(Tensor&& t, Arena* arena, int category) {
+  if (arena == nullptr) return std::move(t);
+  ArenaBinding bind(arena, category);
+  return Tensor(t);
+}
+
+/// The arena's rounding: 64-byte-aligned float buffers.
+std::int64_t aligned_bytes(std::int64_t elems) {
+  const std::int64_t bytes = elems * static_cast<std::int64_t>(sizeof(float));
+  return (bytes + 63) / 64 * 64;
+}
+
 }  // namespace
 
 LayerWeights LayerWeights::random(const BlockDims& dims, Rng& rng) {
@@ -155,6 +169,18 @@ std::int64_t Layer::cache_chunks() const {
   return total;
 }
 
+Layer::SliceFootprint Layer::slice_footprint(std::int64_t slice_len) const {
+  const std::int64_t s = slice_len, h = dims_.hidden, kvh = dims_.kv_hidden();
+  SliceFootprint fp;
+  // Retained activations: x, q_rot, attn_cat, x2; dense layers also keep
+  // the gate/up projections (MoE recomputes everything from x2).
+  fp.activation_bytes = 4 * aligned_bytes(s * h);
+  if (!is_moe()) fp.activation_bytes += 2 * aligned_bytes(s * dims_.ffn);
+  fp.kv_bytes = 2 * aligned_bytes(s * kvh);
+  fp.grad_bytes = 2 * aligned_bytes(s * kvh);
+  return fp;
+}
+
 Tensor Layer::forward_slice(const Tensor& x, std::int64_t pos, int mb) {
   MicrobatchState& st = state_of(mb);
   SLIM_CHECK(x.cols() == dims_.hidden, "layer input width mismatch");
@@ -162,14 +188,28 @@ Tensor Layer::forward_slice(const Tensor& x, std::int64_t pos, int mb) {
   const std::int64_t hd = dims_.head_dim();
   const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
 
+  // One arena scope per slice: everything retained below is reclaimed by
+  // this slice's own backward (the LIFO discipline of §4.1.2). Bindings are
+  // kept NARROW — only around the retained-tensor copies, never around
+  // kernel calls, so kernel temporaries stay off the arena and measured
+  // peaks track retained state only.
+  if (arena_stats_ != nullptr && st.arena == nullptr) {
+    st.arena = std::make_unique<Arena>(arena_stats_);
+  }
+  Arena* arena = st.arena.get();
+  if (arena != nullptr) st.marks.push_back(arena->mark());
+
   SliceActs acts;
-  acts.x = x;
+  {
+    ArenaBinding bind(arena, mem::kActivation);
+    acts.x = x;
+  }
   acts.pos = pos;
 
   const Tensor h1 = rmsnorm(x, weights_.norm1);
   Tensor q = matmul(h1, weights_.wq);
   Tensor k = matmul(h1, weights_.wk);
-  const Tensor v = matmul(h1, weights_.wv);
+  Tensor v = matmul(h1, weights_.wv);
 
   // RoPE is applied per head (each head's feature pairs rotate with the
   // same schedule). Heads touch disjoint column bands, so they rotate in
@@ -189,14 +229,23 @@ Tensor Layer::forward_slice(const Tensor& x, std::int64_t pos, int mb) {
       k.assign_cols(kh * hd, khh);
     }
   });
-  acts.q_rot = q;
+  {
+    ArenaBinding bind(arena, mem::kActivation);
+    acts.q_rot = q;  // q is still needed by the attention loop below
+  }
 
   CacheChunk chunk;
-  chunk.k = k;
-  chunk.v = v;
+  chunk.k = retain(std::move(k), arena, mem::kKvCache);
+  chunk.v = retain(std::move(v), arena, mem::kKvCache);
   chunk.pos = pos;
-  chunk.dk = Tensor(s, dims_.kv_hidden());
-  chunk.dv = Tensor(s, dims_.kv_hidden());
+  {
+    // The KV-gradient accumulators belong to THIS slice's scope even
+    // though later slices' backwards write into them: releasing a later
+    // slice's mark must not free them (LIFO completion, §4.1.2).
+    ArenaBinding bind(arena, mem::kGrads);
+    chunk.dk = Tensor(s, dims_.kv_hidden());
+    chunk.dv = Tensor(s, dims_.kv_hidden());
+  }
   st.cache.push_back(std::move(chunk));
 
   // Per-head streamed attention over all cached chunks.
@@ -224,11 +273,17 @@ Tensor Layer::forward_slice(const Tensor& x, std::int64_t pos, int mb) {
       acts.l[static_cast<std::size_t>(head)] = part.l;
     }
   });
-  acts.attn_cat = attn_cat;
+  {
+    ArenaBinding bind(arena, mem::kActivation);
+    acts.attn_cat = attn_cat;
+  }
 
   Tensor x2 = matmul(attn_cat, weights_.wo);
   x2.add_(x);
-  acts.x2 = x2;
+  {
+    ArenaBinding bind(arena, mem::kActivation);
+    acts.x2 = x2;
+  }
 
   const Tensor h2 = rmsnorm(x2, weights_.norm2);
   Tensor out;
@@ -236,9 +291,11 @@ Tensor Layer::forward_slice(const Tensor& x, std::int64_t pos, int mb) {
     // Routed expert FFN; everything recomputed in backward from x2.
     out = moe_forward(*moe_dims_, *moe_weights_, h2);
   } else {
-    acts.gate = matmul(h2, weights_.w_gate);
-    acts.up = matmul(h2, weights_.w_up);
-    out = matmul(swiglu(acts.gate, acts.up), weights_.w_down);
+    Tensor gate = matmul(h2, weights_.w_gate);
+    Tensor up = matmul(h2, weights_.w_up);
+    out = matmul(swiglu(gate, up), weights_.w_down);
+    acts.gate = retain(std::move(gate), arena, mem::kActivation);
+    acts.up = retain(std::move(up), arena, mem::kActivation);
   }
   out.add_(x2);
 
@@ -374,6 +431,13 @@ Tensor Layer::backward_slice(const Tensor& dout, LayerGrads& grads, int mb) {
   dx.add_(dx2);  // residual through the attention block
 
   st.acts.pop_back();
+  if (st.arena != nullptr) {
+    // Reclaim everything the matching forward scope retained. Nothing
+    // arena-backed from this slice is referenced past this point (`own` is
+    // non-owning and already fully consumed above).
+    st.arena->release_to(st.marks.back());
+    st.marks.pop_back();
+  }
   if (st.acts.empty()) {
     // Drop the finished microbatch's bookkeeping entry.
     for (auto it = microbatches_.begin(); it != microbatches_.end(); ++it) {

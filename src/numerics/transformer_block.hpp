@@ -11,10 +11,12 @@
 // outputs and the SwiGLU product are recomputed in backward, not stored.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <optional>
 
+#include "src/numerics/arena.hpp"
 #include "src/numerics/attention.hpp"
 #include "src/numerics/moe.hpp"
 #include "src/numerics/cross_entropy.hpp"
@@ -95,6 +97,27 @@ class Layer {
   /// Clears cache/activations (abandoning any pending backward).
   void reset();
 
+  /// Routes every retained slice tensor (activations under kActivation, KV
+  /// chunks under kKvCache, KV-gradient accumulators under kGrads) through
+  /// a per-microbatch arena reporting into `stats`. nullptr (the default)
+  /// keeps plain heap ownership. Arena placement never changes the math:
+  /// results stay bit-identical to the heap path.
+  void set_arena_stats(ArenaStats* stats) { arena_stats_ = stats; }
+
+  /// Analytical arena footprint one slice of `slice_len` tokens retains
+  /// between its forward and its backward — the prediction side of
+  /// measured-vs-analytical reconciliation. Sizes are 64-byte-aligned the
+  /// way the arena rounds them.
+  struct SliceFootprint {
+    std::int64_t activation_bytes = 0;  // x, q_rot, attn_cat, x2 (+gate, up)
+    std::int64_t kv_bytes = 0;          // post-RoPE k, v
+    std::int64_t grad_bytes = 0;        // dk, dv accumulators
+    std::int64_t total() const {
+      return activation_bytes + kv_bytes + grad_bytes;
+    }
+  };
+  SliceFootprint slice_footprint(std::int64_t slice_len) const;
+
  private:
   struct CacheChunk {
     Tensor k, v;      // post-RoPE keys, values (s, kvh)
@@ -113,6 +136,8 @@ class Layer {
   struct MicrobatchState {
     std::vector<CacheChunk> cache;
     std::vector<SliceActs> acts;
+    std::unique_ptr<Arena> arena;    // set when arena stats are enabled
+    std::vector<Arena::Mark> marks;  // one scope per live slice (LIFO)
   };
 
   MicrobatchState& state_of(int mb);
@@ -122,6 +147,7 @@ class Layer {
   std::optional<MoeDims> moe_dims_;
   std::optional<MoeWeights> moe_weights_;
   std::vector<std::pair<int, MicrobatchState>> microbatches_;
+  ArenaStats* arena_stats_ = nullptr;
 };
 
 /// Tiny LM: tied embedding, L layers, final norm, vocabulary head.

@@ -196,6 +196,15 @@ JsonValue run_metrics_to_json(const RunMetrics& metrics) {
               JsonValue::make_number(s.peak_queue_depth));
     stage.set("peak_memory_bytes",
               JsonValue::make_number(s.peak_memory_bytes));
+    if (!s.measured_peak_bytes.empty()) {
+      JsonValue measured = JsonValue::make_array();
+      for (const double b : s.measured_peak_bytes) {
+        measured.push_back(JsonValue::make_number(b));
+      }
+      stage.set("measured_peak_bytes", std::move(measured));
+      stage.set("measured_peak_total",
+                JsonValue::make_number(s.measured_peak_total));
+    }
     stages.push_back(std::move(stage));
   }
   root.set("stages", std::move(stages));
@@ -228,6 +237,14 @@ bool run_metrics_from_json(const JsonValue& value, RunMetrics* out) {
       s.peak_queue_depth =
           static_cast<int>(item.number_or("peak_queue_depth", 0.0));
       s.peak_memory_bytes = item.number_or("peak_memory_bytes", 0.0);
+      const JsonValue* measured = item.find("measured_peak_bytes");
+      if (measured != nullptr && measured->is_array()) {
+        for (const JsonValue& b : measured->array()) {
+          if (!b.is_number()) return false;
+          s.measured_peak_bytes.push_back(b.number());
+        }
+        s.measured_peak_total = item.number_or("measured_peak_total", 0.0);
+      }
       metrics.stages.push_back(s);
     }
   }

@@ -37,6 +37,13 @@ struct StageMetrics {
   double blocked_recv_seconds = 0.0;  // runtime: time blocked inside recv
   int peak_queue_depth = 0;           // runtime: inbox high-water mark
   double peak_memory_bytes = 0.0;     // memory high-water (sim replay)
+
+  // Runtime-measured arena high-water marks, one slot per mem::Category
+  // (empty when arenas were not enabled). measured_peak_total is the true
+  // concurrent high-water across all of the stage's arenas, not the sum of
+  // per-category peaks.
+  std::vector<double> measured_peak_bytes;
+  double measured_peak_total = 0.0;
 };
 
 struct RunMetrics {

@@ -204,6 +204,17 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
   obs::Recorder* const rec = options.recorder;
   std::vector<StageProbe> probes(static_cast<std::size_t>(p));
   double wall_seconds = 0.0;  // summed over attempts
+  // Per-stage arena statistics sinks: the measured side of the
+  // measured-vs-analytical footprint reconciliation. Shared across attempts
+  // (peaks are maxima over attempts; a respawned stage's fresh arenas keep
+  // reporting into the same sink). unique_ptr because ArenaStats holds
+  // atomics and cannot move.
+  std::vector<std::unique_ptr<num::ArenaStats>> arena_stats;
+  if (options.measure_memory) {
+    for (int s = 0; s < p; ++s) {
+      arena_stats.push_back(std::make_unique<num::ArenaStats>());
+    }
+  }
   if (rec != nullptr) {
     for (int s = 0; s < p; ++s) {
       rec->set_track_name(s, "stage " + std::to_string(s));
@@ -367,6 +378,12 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
           for (int i = clo; i < chi; ++i) {
             chunk_layers[static_cast<std::size_t>(chunk)].emplace_back(
                 dims_, layer_weights_[static_cast<std::size_t>(i)]);
+            if (!arena_stats.empty()) {
+              chunk_layers[static_cast<std::size_t>(chunk)]
+                  .back()
+                  .set_arena_stats(
+                      arena_stats[static_cast<std::size_t>(stage)].get());
+            }
             local_of_global[static_cast<std::size_t>(i)] = local++;
           }
         }
@@ -1064,6 +1081,16 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
     stage_metrics.p2p_messages = probe.p2p_messages;
     stage_metrics.p2p_bytes = probe.p2p_bytes;
     stage_metrics.peak_queue_depth = static_cast<int>(probe.peak_queue);
+    if (!arena_stats.empty()) {
+      const num::ArenaStats& measured =
+          *arena_stats[static_cast<std::size_t>(s)];
+      for (int c = 0; c < mem::kNumCategories; ++c) {
+        stage_metrics.measured_peak_bytes.push_back(
+            static_cast<double>(measured.peak_bytes(c)));
+      }
+      stage_metrics.measured_peak_total =
+          static_cast<double>(measured.total_peak_bytes());
+    }
     result.stats.metrics.stages.push_back(stage_metrics);
   }
   result.loss = total_loss / static_cast<double>(m);

@@ -101,6 +101,13 @@ struct RunOptions {
   /// value is used as-is. Results are bit-identical either way — the cap
   /// only affects how many workers help, never chunk boundaries.
   int kernel_threads = 0;
+  /// Route each stage's retained slice tensors (activations, KV chunks,
+  /// KV-gradient accumulators) through per-microbatch arenas and report the
+  /// measured per-category high-water marks in
+  /// PipelineStats::metrics.stages[*].measured_peak_bytes. Placement never
+  /// changes the math (results stay bit-identical); disable only to shave
+  /// the retained-copy overhead off perf runs.
+  bool measure_memory = true;
 };
 
 /// Tied-embedding transformer split across `stages` worker threads.

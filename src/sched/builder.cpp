@@ -566,6 +566,7 @@ ScheduleResult assemble_result(const PipelineSpec& spec,
   }
   result.metrics = obs::metrics_from_sim(*built.graph, exec, spec.p, &memory);
   result.metrics.scheme = scheme_name;
+  result.memory = memory;
   return result;
 }
 

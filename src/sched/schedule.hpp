@@ -131,6 +131,11 @@ struct ScheduleResult {
   /// Per-stage observability breakdown (same shape as the threaded
   /// runtime's rt::PipelineStats::metrics).
   obs::RunMetrics metrics;
+
+  /// Full analytical memory replay (per-device, per-category peaks) — the
+  /// prediction side of measured-vs-analytical footprint reconciliation
+  /// (mem::reconcile_peaks against the runtime's arena-measured peaks).
+  mem::MemoryReport memory;
 };
 
 /// Packs a ScheduleResult into the bench-report run shape.

@@ -67,6 +67,33 @@ TEST(TrackerTest, CategoryBreakdownAtPeak) {
   EXPECT_NE(report.summary().find("activation"), std::string::npos);
 }
 
+TEST(TrackerTest, SameTimestampDeltasReplayDeterministically) {
+  // Two zero-duration ops finishing at the same instant, with their deltas
+  // attached in reverse op order. The replay orders same-timestamp events
+  // by op id (then insertion order), so repeated replays of the same graph
+  // must agree event-for-event — peaks, at-peak breakdowns, everything.
+  sim::OpGraph g(sim::make_cluster(1));
+  const auto a = g.add_compute(0, 0.0, sim::OpClass::Forward, {});
+  const auto b = g.add_compute(0, 0.0, sim::OpClass::Forward, {});
+  g.add_mem(b, {0, kKvCache, 60.0, false});
+  g.add_mem(a, {0, kActivation, 100.0, false});
+  const auto r = sim::execute(g);
+  const MemoryReport first = replay_memory(g, r, 1);
+  const MemoryReport second = replay_memory(g, r, 1);
+  EXPECT_DOUBLE_EQ(first.devices[0].peak, 160.0);
+  EXPECT_DOUBLE_EQ(first.devices[0].at_peak[kActivation], 100.0);
+  EXPECT_DOUBLE_EQ(first.devices[0].at_peak[kKvCache], 60.0);
+  EXPECT_DOUBLE_EQ(first.devices[0].peak, second.devices[0].peak);
+  EXPECT_DOUBLE_EQ(first.devices[0].peak_time, second.devices[0].peak_time);
+  for (int c = 0; c < kNumCategories; ++c) {
+    EXPECT_DOUBLE_EQ(first.devices[0].at_peak[static_cast<std::size_t>(c)],
+                     second.devices[0].at_peak[static_cast<std::size_t>(c)]);
+    EXPECT_DOUBLE_EQ(
+        first.devices[0].category_peak[static_cast<std::size_t>(c)],
+        second.devices[0].category_peak[static_cast<std::size_t>(c)]);
+  }
+}
+
 TEST(KvPoolTest, ReusesFreedChunks) {
   ChunkedKvPool pool(1024.0);
   const int a = pool.acquire();

@@ -32,28 +32,34 @@ std::vector<Scheme> all_schemes() {
           Scheme::VMin, Scheme::SlimPipe};
 }
 
+namespace {
+
+/// Display names match the legacy scheme runners exactly (metrics and the
+/// comparison tables key on them); only 1F1B decorates scheme_name().
+const char* display_name(Scheme scheme) {
+  return scheme == Scheme::OneF1B ? "1F1B (PipeDream-Flush)"
+                                  : scheme_name(scheme);
+}
+
+}  // namespace
+
 sched::ScheduleResult run_scheme(Scheme scheme, sched::PipelineSpec spec,
                                  bool want_timeline) {
-  switch (scheme) {
-    case Scheme::GPipe:
-      return sched::run_gpipe(std::move(spec), want_timeline);
-    case Scheme::TeraPipe:
-      return sched::run_terapipe(std::move(spec), want_timeline);
-    case Scheme::OneF1B:
-      return sched::run_onef1b(std::move(spec), want_timeline);
-    case Scheme::Interleaved1F1B:
-      return sched::run_interleaved(std::move(spec), want_timeline);
-    case Scheme::ZBV:
-      return sched::run_zbv(std::move(spec), want_timeline);
-    case Scheme::VHalf:
-      return sched::run_vhalf(std::move(spec), want_timeline);
-    case Scheme::VMin:
-      return sched::run_vmin(std::move(spec), want_timeline);
-    case Scheme::SlimPipe:
-      return run_slimpipe(std::move(spec), want_timeline);
+  // Interleaving with a single chunk is plain 1F1B (the same delegation the
+  // scheme runner performs) — resolve it before the display name is chosen.
+  if (scheme == Scheme::Interleaved1F1B && spec.v == 1) {
+    scheme = Scheme::OneF1B;
   }
-  SLIM_CHECK(false, "unknown scheme");
-  return {};
+  // Routing through plan_scheme (rather than the legacy run_* runners)
+  // stamps the scheme's declared in-flight cap on the spec, so compile()
+  // enforces the sched-inflight-bound rule on every simulated run.
+  SchedulePlan plan = plan_scheme(scheme, std::move(spec));
+  std::unique_ptr<ExchangePlanner> planner;
+  if (plan.spec.context_exchange && plan.spec.p > 1) {
+    planner = std::make_unique<ExchangePlanner>(plan.spec);
+  }
+  return sched::run_pipeline(plan.spec, plan.programs, planner.get(),
+                             display_name(scheme), want_timeline);
 }
 
 sched::ScheduleResult run_scheme_faulted(Scheme scheme,
@@ -161,6 +167,8 @@ SchedulePlan plan_scheme(Scheme scheme, sched::PipelineSpec spec) {
       std::min(plan.max_inflight_units, static_cast<double>(spec.m) *
                                             static_cast<double>(spec.n) *
                                             static_cast<double>(spec.v));
+  // Declare the cap on the spec so sched::compile enforces it.
+  spec.max_inflight_units = plan.max_inflight_units;
   plan.spec = std::move(spec);
   return plan;
 }

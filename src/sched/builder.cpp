@@ -6,7 +6,9 @@
 
 #include "src/analysis/graph_check.hpp"
 #include "src/analysis/schedule_check.hpp"
+#include "src/analysis/verify.hpp"
 #include "src/fault/fault_sim.hpp"
+#include "src/ir/schedule_ir.hpp"
 #include "src/model/activation.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
@@ -96,6 +98,26 @@ BuildOutput compile(const PipelineSpec& spec,
   SLIM_CHECK(err.empty(), "invalid pipeline spec: " + err);
   SLIM_CHECK(static_cast<int>(programs.size()) == spec.p,
              "one program per pipeline device required");
+
+  // ---- static analysis, phase 1: schedule lint + IR verification ----
+  // Runs *before* any graph is built, so a rejected schedule costs nothing
+  // and external (imported) schedules are certified by the same path. The
+  // spec carries the scheme's declared in-flight cap (core::plan_scheme
+  // fills it in); 0 leaves the sched-inflight-bound rule off.
+  if (compile_lint_enabled()) {
+    analysis::ScheduleLintOptions sched_opts;
+    sched_opts.max_inflight_units = spec.max_inflight_units;
+    std::vector<analysis::Finding> findings =
+        analysis::check_schedule(spec, programs, sched_opts);
+    const analysis::VerifyResult verdict =
+        analysis::verify_ir(ir::lower(spec, programs, "compile"), spec);
+    findings.insert(findings.end(), verdict.findings.begin(),
+                    verdict.findings.end());
+    if (analysis::has_errors(findings)) {
+      SLIM_CHECK(false, "static analysis rejected the schedule:\n" +
+                            analysis::render(findings));
+    }
+  }
 
   const StageLayout layout = spec.stage_layout();
   const int num_stages = layout.num_stages();
@@ -513,16 +535,12 @@ BuildOutput compile(const PipelineSpec& spec,
          params * 12.0 / static_cast<double>(std::max<std::int64_t>(1, spec.d))});
   }
 
-  // ---- static analysis (schedule + graph lint) ----
-  // The scheme is unknown here, so the in-flight activation bound stays off
-  // (slimpipe_lint and the tests check it with the scheme's declared cap).
+  // ---- static analysis, phase 2: graph lint ----
+  // The pre-build rules ran above; this pass checks properties only the
+  // built graph exposes (dependency cycles, transfer pairing, balances).
   if (compile_lint_enabled()) {
-    std::vector<analysis::Finding> findings =
-        analysis::check_schedule(spec, programs);
-    const std::vector<analysis::Finding> graph_findings =
+    const std::vector<analysis::Finding> findings =
         analysis::check_graph(graph, spec);
-    findings.insert(findings.end(), graph_findings.begin(),
-                    graph_findings.end());
     if (analysis::has_errors(findings)) {
       SLIM_CHECK(false,
                  "static analysis rejected the schedule:\n" +

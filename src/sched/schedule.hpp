@@ -88,6 +88,12 @@ struct PipelineSpec {
   double dp_exposed_fraction = 0.25;
   std::int64_t d = 1;                       // data-parallel size (optimizer)
 
+  /// Declared cap on simultaneously-live activation units (slices) per
+  /// device. 0 = undeclared; when positive, sched::compile enforces it via
+  /// the sched-inflight-bound lint rule. core::plan_scheme fills in each
+  /// scheme's analytical cap.
+  double max_inflight_units = 0.0;
+
   /// Base layers per stage (uneven splits give the remainder to the first
   /// stages, Megatron-style).
   std::int64_t layers_per_stage() const {

@@ -395,6 +395,36 @@ TEST(CompileLint, ToggleDisablesTheLint) {
 }
 
 // ---------------------------------------------------------------------------
+// The scheme's declared in-flight cap travels through the spec: plan_scheme
+// stamps it, and compile() enforces it on the main simulation path.
+
+TEST(CompileInflightBound, PlanThreadsDeclaredCapThroughSpec) {
+  const core::SchedulePlan plan =
+      core::plan_scheme(core::Scheme::GPipe, base_spec(2, 1, 4));
+  EXPECT_GT(plan.max_inflight_units, 0.0);
+  EXPECT_EQ(plan.spec.max_inflight_units, plan.max_inflight_units);
+}
+
+TEST(CompileInflightBound, CompileRejectsScheduleOverDeclaredCap) {
+  LintGuard guard;
+  sched::set_compile_lint(true);
+  core::SchedulePlan plan =
+      core::plan_scheme(core::Scheme::GPipe, base_spec(2, 1, 4));
+  // The honest cap compiles clean...
+  EXPECT_NO_THROW(sched::compile(plan.spec, plan.programs, nullptr));
+  // ...an understated one is rejected before any graph is built.
+  plan.spec.max_inflight_units = 1.0;  // GPipe holds all m = 4 units
+  try {
+    sched::compile(plan.spec, plan.programs, nullptr);
+    FAIL() << "compile accepted a schedule over its declared in-flight cap";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("sched-inflight-bound"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Finding plumbing.
 
 TEST(Findings, RenderSummaryAndQueries) {

@@ -2,29 +2,40 @@
 //
 // Lints a scheme/spec combination without running the simulator: generates
 // the scheme's per-device programs, runs the schedule pass (per-pass
-// invariants plus the scheme's declared in-flight activation bound), builds
-// the op graph and runs the graph pass (acyclicity, channel FIFO matching,
+// invariants plus the scheme's declared in-flight activation bound), lowers
+// to the tabular IR and runs the whole-schedule verification engine
+// (causality, deadlock, progress, memory certificate), then builds the op
+// graph and runs the graph pass (acyclicity, channel FIFO matching,
 // memory-ledger conservation). Any Error finding fails the run.
 //
 //   slimpipe_lint --scheme slimpipe --model 13b --p 4 --n 8 --m 8
 //   slimpipe_lint --scheme all --p 8
-//   slimpipe_lint --sweep            # acceptance grid, all schemes
+//   slimpipe_lint --sweep                      # acceptance grid, all schemes
+//   slimpipe_lint --scheme 1f1b --emit-ir s.ir # export the lowered schedule
+//   slimpipe_lint --ir s.ir                    # certify an external schedule
 //
-// Exit status: 0 = clean, 1 = findings, 2 = usage error.
+// Exit status: 0 = clean, 1 = lint findings, 2 = usage error,
+// 3 = verifier errors (ir-structure / verify-* rules, or unreadable IR).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/graph_check.hpp"
 #include "src/analysis/schedule_check.hpp"
+#include "src/analysis/verify.hpp"
 #include "src/core/context_exchange.hpp"
 #include "src/core/runner.hpp"
+#include "src/ir/schedule_ir.hpp"
 #include "src/sched/builder.hpp"
 #include "src/util/table.hpp"
+#include "src/util/units.hpp"
 
 using namespace slim;
 
@@ -52,8 +63,18 @@ scheme / schedule
 
 modes
   --sweep            lint every scheme over p in {2,4,8}, n in {1,4},
-                     m in {p, 2p} (other options fix the rest of the spec)
+                     m in {p, 2p} (other options fix the rest of the spec);
+                     identical findings are reported once across points
+  --emit-ir FILE     write the scheme's lowered tabular IR to FILE
+                     ("-" = stdout); requires a single --scheme
+  --ir FILE          certify an external IR schedule file instead of a
+                     scheme (workload options still shape the spec; the
+                     IR header supplies p/v/n/m/layout/...)
   --verbose          print a line for clean combinations too
+
+exit status
+  0 = clean, 1 = lint findings, 2 = usage error,
+  3 = verifier errors (ir-structure / verify-* rules, or unreadable IR)
 )");
 }
 
@@ -102,7 +123,14 @@ std::vector<analysis::Finding> lint_combo(core::Scheme scheme,
     analysis::ScheduleLintOptions sched_opts;
     sched_opts.max_inflight_units = plan.max_inflight_units;
     findings = analysis::check_schedule(plan.spec, plan.programs, sched_opts);
-    // A schedule pass 1 rejects cannot be compiled meaningfully.
+
+    const ir::ScheduleIR table =
+        ir::lower(plan.spec, plan.programs, core::scheme_name(scheme));
+    const analysis::VerifyResult verdict =
+        analysis::verify_ir(table, plan.spec);
+    findings.insert(findings.end(), verdict.findings.begin(),
+                    verdict.findings.end());
+    // A schedule the pre-build passes reject cannot be compiled meaningfully.
     if (analysis::has_errors(findings)) return findings;
 
     // Build the graph ourselves (lint disabled) so rule violations come
@@ -140,10 +168,75 @@ std::string combo_label(core::Scheme scheme, const sched::PipelineSpec& spec) {
   return buf;
 }
 
+/// Verifier-class findings (the IR structure and verify-* rules) get their
+/// own exit code so drivers can tell a rejected schedule from a lint nit.
+bool is_verifier_finding(const analysis::Finding& finding) {
+  return finding.rule_id == "ir-structure" ||
+         finding.rule_id.rfind("verify-", 0) == 0;
+}
+
+/// Certifies an external IR schedule file: import, overlay the header onto
+/// the workload spec, run the schedule lint and the verification engine.
+/// Returns the exit status (0/1/3).
+int lint_ir_file(const std::string& path, const sched::PipelineSpec& base,
+                 bool verbose) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read IR file '%s'\n", path.c_str());
+    return 3;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  std::vector<analysis::Finding> findings;
+  try {
+    const ir::ScheduleIR table = ir::import_text(buffer.str());
+    const sched::PipelineSpec spec = ir::apply_header(table, base);
+    const std::string err = spec.validate();
+    if (!err.empty()) {
+      std::fprintf(stderr, "%s: header yields an invalid spec: %s\n",
+                   path.c_str(), err.c_str());
+      return 3;
+    }
+
+    analysis::ScheduleLintOptions sched_opts;
+    sched_opts.max_inflight_units = spec.max_inflight_units;
+    findings =
+        analysis::check_schedule(spec, ir::to_programs(table), sched_opts);
+    const analysis::VerifyResult verdict = analysis::verify_ir(table, spec);
+    findings.insert(findings.end(), verdict.findings.begin(),
+                    verdict.findings.end());
+    if (findings.empty()) {
+      std::printf("%s: %s certified clean (%zu rows)\n", path.c_str(),
+                  table.scheme.c_str(), table.rows.size());
+      if (verbose) {
+        for (const analysis::StageCertificate& sc :
+             verdict.certificate.stages) {
+          std::printf("  stage %d (dev %d): certified peak %.3f GiB\n",
+                      sc.stage, sc.device, sc.peak_bytes / kGiB);
+        }
+      }
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 3;
+  }
+
+  std::printf("%s: %s\n%s", path.c_str(),
+              analysis::summary(findings).c_str(),
+              analysis::render(findings).c_str());
+  for (const analysis::Finding& finding : findings) {
+    if (is_verifier_finding(finding)) return 3;
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string model_name = "13b", scheme_name = "all", ckpt = "none";
+  std::string ir_path, emit_ir_path;
   std::int64_t seq = 131072, t = 8, c = 1, e = 1, d = 1;
   int p = 4, v = 1, n = 0, m = 4;
   double offload = 0.0;
@@ -172,6 +265,8 @@ int main(int argc, char** argv) {
     else if (arg == "--ckpt") ckpt = next();
     else if (arg == "--offload") offload = std::atof(next());
     else if (arg == "--sweep") sweep = true;
+    else if (arg == "--ir") ir_path = next();
+    else if (arg == "--emit-ir") emit_ir_path = next();
     else if (arg == "--verbose") verbose = true;
     else if (arg == "--no-exchange") exchange = false;
     else if (arg == "--no-vocab-par") vocab_parallel = false;
@@ -197,6 +292,19 @@ int main(int argc, char** argv) {
   base.offload.ratio = offload;
   base.offload.pcie_bandwidth = gpu.pcie_bandwidth;
   base.context_exchange = exchange;
+
+  if (!ir_path.empty()) {
+    if (sweep || !emit_ir_path.empty()) {
+      std::fprintf(stderr, "--ir cannot be combined with --sweep/--emit-ir\n");
+      return 2;
+    }
+    base.p = p;
+    base.v = v;
+    base.n = n > 0 ? n : 1;
+    base.m = m;
+    base.vocab_parallel = vocab_parallel;
+    return lint_ir_file(ir_path, base, verbose);
+  }
 
   struct Combo {
     core::Scheme scheme;
@@ -237,11 +345,60 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!emit_ir_path.empty()) {
+    if (combos.size() != 1) {
+      std::fprintf(stderr,
+                   "--emit-ir needs exactly one combination (give a single "
+                   "--scheme, no --sweep)\n");
+      return 2;
+    }
+    const core::SchedulePlan plan =
+        core::plan_scheme(combos[0].scheme, combos[0].spec);
+    const ir::ScheduleIR table = ir::lower(
+        plan.spec, plan.programs, core::scheme_name(combos[0].scheme));
+    const std::string text = ir::export_text(table);
+    if (emit_ir_path == "-") {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::ofstream out(emit_ir_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", emit_ir_path.c_str());
+        return 2;
+      }
+      out << text;
+      std::printf("wrote %s (%zu rows)\n", emit_ir_path.c_str(),
+                  table.rows.size());
+    }
+    return 0;
+  }
+
   int dirty = 0;
-  std::size_t total_findings = 0;
+  bool verifier_errors = false;
+  std::size_t total_findings = 0, duplicates = 0;
+  // Sweep points often repeat one root cause (same rule, location, message)
+  // at every grid size; report each distinct finding once.
+  std::set<std::string> seen;
   for (const Combo& combo : combos) {
-    const auto findings = lint_combo(combo.scheme, combo.spec);
+    auto findings = lint_combo(combo.scheme, combo.spec);
     const std::string label = combo_label(combo.scheme, combo.spec);
+    for (const analysis::Finding& finding : findings) {
+      verifier_errors = verifier_errors || is_verifier_finding(finding);
+    }
+    if (sweep) {
+      std::vector<analysis::Finding> fresh;
+      for (analysis::Finding& finding : findings) {
+        const std::string key =
+            finding.rule_id + '\x1f' + finding.location + '\x1f' +
+            finding.message;
+        if (seen.insert(key).second) fresh.push_back(std::move(finding));
+        else ++duplicates;
+      }
+      findings = std::move(fresh);
+      if (findings.empty() && duplicates > 0) {
+        // Dirty point, but everything on it was already reported.
+        continue;
+      }
+    }
     if (findings.empty()) {
       if (verbose) std::printf("%-40s clean\n", label.c_str());
       continue;
@@ -253,12 +410,17 @@ int main(int argc, char** argv) {
                 analysis::render(findings).c_str());
   }
 
-  if (dirty == 0) {
+  if (dirty == 0 && total_findings == 0 && duplicates == 0) {
     std::printf("%zu combination%s linted, no findings\n", combos.size(),
                 combos.size() == 1 ? "" : "s");
     return 0;
   }
-  std::printf("%d of %zu combinations with findings (%zu total)\n", dirty,
+  std::printf("%d of %zu combinations with findings (%zu distinct", dirty,
               combos.size(), total_findings);
-  return 1;
+  if (duplicates > 0) {
+    std::printf(", %zu duplicate%s suppressed", duplicates,
+                duplicates == 1 ? "" : "s");
+  }
+  std::printf(")\n");
+  return verifier_errors ? 3 : 1;
 }

@@ -22,9 +22,11 @@
 #include <memory>
 #include <string>
 
+#include "src/analysis/verify.hpp"
 #include "src/core/context_exchange.hpp"
 #include "src/core/runner.hpp"
 #include "src/fault/fault_plan.hpp"
+#include "src/ir/schedule_ir.hpp"
 #include "src/obs/report.hpp"
 #include "src/obs/trace.hpp"
 #include "src/parallel/search.hpp"
@@ -68,6 +70,12 @@ modes
   --json FILE        write a slimpipe-bench-report JSON (slimpipe_report)
   --faults FILE      apply a fault plan (stragglers, link degradation,
                      crashes with checkpoint-restart) and print the report
+  --schedule FILE    run an external tabular-IR schedule instead of a
+                     built-in scheme (see slimpipe_lint --emit-ir). The IR
+                     header supplies p/v/n/m/layout/...; the remaining
+                     options shape the workload. The schedule only runs if
+                     the static verifier certifies it clean (exit 3 when it
+                     is rejected)
 )");
 }
 
@@ -151,7 +159,7 @@ bool write_json_report(const std::string& path,
 
 int main(int argc, char** argv) {
   std::string model_name = "13b", scheme_name = "slimpipe", ckpt = "none";
-  std::string trace_path, faults_path, json_path;
+  std::string trace_path, faults_path, json_path, schedule_path;
   std::int64_t seq = 131072, tokens = 0, t = 8, c = 1, e = 1, d = 1;
   int p = 4, v = 1, n = 0, m = 4, gpus = 0;
   double offload = 0.0;
@@ -187,6 +195,7 @@ int main(int argc, char** argv) {
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--json") json_path = next();
     else if (arg == "--faults") faults_path = next();
+    else if (arg == "--schedule") schedule_path = next();
     else if (arg == "--no-exchange") exchange = false;
     else if (arg == "--adaptive") adaptive = true;
     else if (arg == "--no-vocab-par") vocab_parallel = false;
@@ -256,7 +265,51 @@ int main(int argc, char** argv) {
       plan = fault::parse_plan(text);
     }
     obs::Trace trace;
-    if (!trace_path.empty()) {
+    obs::Trace* trace_out = trace_path.empty() ? nullptr : &trace;
+    if (!schedule_path.empty()) {
+      // External schedule: import, certify with the static verifier, then
+      // run the table's programs through the same pipeline as the schemes.
+      std::ifstream in(schedule_path);
+      if (!in) {
+        std::fprintf(stderr, "cannot read schedule '%s'\n",
+                     schedule_path.c_str());
+        return 1;
+      }
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      const ir::ScheduleIR table = ir::import_text(text);
+      spec = ir::apply_header(table, spec);
+      const std::string err = spec.validate();
+      if (!err.empty()) {
+        std::fprintf(stderr, "%s: header yields an invalid spec: %s\n",
+                     schedule_path.c_str(), err.c_str());
+        return 3;
+      }
+      const analysis::VerifyResult verdict = analysis::verify_ir(table, spec);
+      if (!verdict.ok()) {
+        std::fprintf(stderr,
+                     "%s: schedule rejected by the static verifier:\n%s",
+                     schedule_path.c_str(),
+                     analysis::render(verdict.findings).c_str());
+        return 3;
+      }
+      const std::vector<sched::DeviceProgram> programs =
+          ir::to_programs(table);
+      std::unique_ptr<core::ExchangePlanner> planner;
+      if (spec.context_exchange && spec.p > 1) {
+        planner = std::make_unique<core::ExchangePlanner>(spec);
+      }
+      const std::string name =
+          table.scheme.empty() ? std::string("external") : table.scheme;
+      if (!faults_path.empty()) {
+        r = sched::run_pipeline_faulted(spec, programs, planner.get(), name,
+                                        plan, &report, want_timeline,
+                                        trace_out);
+      } else {
+        r = sched::run_pipeline(spec, programs, planner.get(), name,
+                                want_timeline, trace_out);
+      }
+    } else if (!trace_path.empty()) {
       // Tracing runs through plan_scheme + run_pipeline directly: the plan
       // mirrors the scheme runner's normalization exactly, and run_pipeline
       // fills the obs::Trace alongside the result — one run, any scheme.
@@ -294,8 +347,9 @@ int main(int argc, char** argv) {
                                 " n=" + std::to_string(spec.n) +
                                 " m=" + std::to_string(m) +
                                 " seq=" + std::to_string(seq);
-      if (!write_json_report(json_path, r, model_name,
-                             core::scheme_name(scheme), setup)) {
+      const std::string scheme_label =
+          schedule_path.empty() ? core::scheme_name(scheme) : r.scheme;
+      if (!write_json_report(json_path, r, model_name, scheme_label, setup)) {
         std::fprintf(stderr, "cannot write report '%s'\n", json_path.c_str());
         return 1;
       }

@@ -1,0 +1,152 @@
+#include "src/dist/socket.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/util/logging.hpp"
+
+namespace slim::dist {
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    // Best-effort close; EINTR on close must not retry (POSIX leaves the fd
+    // state unspecified and Linux has already released it).
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+SocketPair make_socket_pair() {
+  int fds[2] = {-1, -1};
+  const int rc = ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds);
+  SLIM_CHECK(rc == 0, std::string("socketpair failed: ") +
+                          std::strerror(errno));
+  SocketPair pair;
+  pair.a = Fd(fds[0]);
+  pair.b = Fd(fds[1]);
+  return pair;
+}
+
+const char* io_status_name(IoStatus status) {
+  switch (status) {
+    case IoStatus::Ok: return "ok";
+    case IoStatus::Eof: return "eof";
+    case IoStatus::Torn: return "torn";
+    case IoStatus::Corrupt: return "corrupt";
+  }
+  return "?";
+}
+
+bool send_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      SLIM_CHECK(false, std::string("socket send failed: ") +
+                            std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+IoStatus recv_all(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd, p + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return got == 0 ? IoStatus::Eof : IoStatus::Torn;
+      SLIM_CHECK(false, std::string("socket recv failed: ") +
+                            std::strerror(errno));
+    }
+    if (rc == 0) return got == 0 ? IoStatus::Eof : IoStatus::Torn;
+    got += static_cast<std::size_t>(rc);
+  }
+  return IoStatus::Ok;
+}
+
+bool poll_readable(int fd, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      SLIM_CHECK(false, std::string("poll failed: ") + std::strerror(errno));
+    }
+    return rc > 0;
+  }
+}
+
+std::vector<bool> poll_readable_many(const std::vector<int>& fds,
+                                     int timeout_ms) {
+  std::vector<struct pollfd> pfds;
+  std::vector<std::size_t> slots;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i] < 0) continue;
+    struct pollfd pfd;
+    pfd.fd = fds[i];
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    pfds.push_back(pfd);
+    slots.push_back(i);
+  }
+  std::vector<bool> readable(fds.size(), false);
+  if (pfds.empty()) {
+    // Nothing to wait on: still honor the timeout so callers' cadence
+    // (heartbeat ticks, deadline checks) is preserved.
+    if (timeout_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(timeout_ms));
+    }
+    return readable;
+  }
+  for (;;) {
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      SLIM_CHECK(false, std::string("poll failed: ") + std::strerror(errno));
+    }
+    break;
+  }
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      readable[slots[i]] = true;
+    }
+  }
+  return readable;
+}
+
+SocketPair connect_with_retry(int fail_first, int max_attempts,
+                              const std::function<void(int)>& on_retry) {
+  SLIM_CHECK(max_attempts >= 1, "connect_with_retry needs >= 1 attempt");
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt <= fail_first) {
+      if (on_retry) on_retry(attempt);
+      // Bounded backoff: 1, 2, 4, ... ms capped at 16 ms — enough to model
+      // a transient listener, short enough for tests.
+      const int shift = attempt < 5 ? attempt - 1 : 4;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << shift));
+      continue;
+    }
+    return make_socket_pair();
+  }
+  SLIM_CHECK(false, "transport setup failed after " +
+                        std::to_string(max_attempts) + " attempts");
+  return {};
+}
+
+}  // namespace slim::dist

@@ -131,6 +131,41 @@ std::vector<PlanIssue> validate(const FaultPlan& plan, int world_size) {
           "stage " + std::to_string(d.stage) + " outside the pipeline");
     }
   }
+  for (std::size_t i = 0; i < plan.socket_drops.size(); ++i) {
+    const SocketDrop& d = plan.socket_drops[i];
+    const std::string where = "socket_drop " + std::to_string(i);
+    if (d.every < 1 || d.count < 1 || d.max_retries < 0) {
+      add("fault-socket-drop-params", where,
+          "socket drop needs every >= 1, count >= 1 and max_retries >= 0");
+    }
+    if (!device_ok(d.stage, /*wildcard_allowed=*/true)) {
+      add("fault-device-range", where,
+          "stage " + std::to_string(d.stage) + " outside the pipeline");
+    }
+  }
+  for (std::size_t i = 0; i < plan.socket_connect_fails.size(); ++i) {
+    const SocketConnectFail& c = plan.socket_connect_fails[i];
+    const std::string where = "socket_connect " + std::to_string(i);
+    if (c.failures < 1) {
+      add("fault-socket-connect-params", where, "failures must be >= 1");
+    }
+    if (!device_ok(c.stage, /*wildcard_allowed=*/false)) {
+      add("fault-device-range", where,
+          "stage " + std::to_string(c.stage) + " outside the pipeline");
+    }
+  }
+  for (std::size_t i = 0; i < plan.socket_delays.size(); ++i) {
+    const SocketDelay& d = plan.socket_delays[i];
+    const std::string where = "socket_delay " + std::to_string(i);
+    if (d.every < 1 || !finite_ge(d.seconds, 0.0)) {
+      add("fault-socket-delay-params", where,
+          "socket delay needs every >= 1 and seconds >= 0");
+    }
+    if (!device_ok(d.stage, /*wildcard_allowed=*/true)) {
+      add("fault-device-range", where,
+          "stage " + std::to_string(d.stage) + " outside the pipeline");
+    }
+  }
   return issues;
 }
 
@@ -257,6 +292,27 @@ FaultPlan parse_plan(const std::string& text) {
       d.every = a.get_int("every", 1);
       d.seconds = a.get_double("seconds", 0.0);
       plan.delays.push_back(d);
+    } else if (kind == "socket_drop") {
+      const KvArgs a = parse_kv(line, kind,
+                                {"stage", "every", "count", "max_retries"});
+      SocketDrop d;
+      d.stage = static_cast<int>(a.get_int("stage", -1));
+      d.every = a.get_int("every", 1);
+      d.count = static_cast<int>(a.get_int("count", 1));
+      d.max_retries = static_cast<int>(a.get_int("max_retries", 3));
+      plan.socket_drops.push_back(d);
+    } else if (kind == "socket_connect") {
+      const KvArgs a = parse_kv(line, kind, {"stage", "failures"});
+      plan.socket_connect_fails.push_back(
+          {static_cast<int>(a.get_int("stage", 0)),
+           static_cast<int>(a.get_int("failures", 1))});
+    } else if (kind == "socket_delay") {
+      const KvArgs a = parse_kv(line, kind, {"stage", "every", "seconds"});
+      SocketDelay d;
+      d.stage = static_cast<int>(a.get_int("stage", -1));
+      d.every = a.get_int("every", 1);
+      d.seconds = a.get_double("seconds", 0.0);
+      plan.socket_delays.push_back(d);
     } else {
       SLIM_CHECK(false, "fault plan: unknown directive '" + kind + "'");
     }
@@ -292,6 +348,18 @@ std::string to_text(const FaultPlan& plan) {
     out << "delay stage=" << d.stage << " every=" << d.every
         << " seconds=" << d.seconds << "\n";
   }
+  for (const SocketDrop& d : plan.socket_drops) {
+    out << "socket_drop stage=" << d.stage << " every=" << d.every
+        << " count=" << d.count << " max_retries=" << d.max_retries << "\n";
+  }
+  for (const SocketConnectFail& c : plan.socket_connect_fails) {
+    out << "socket_connect stage=" << c.stage << " failures=" << c.failures
+        << "\n";
+  }
+  for (const SocketDelay& d : plan.socket_delays) {
+    out << "socket_delay stage=" << d.stage << " every=" << d.every
+        << " seconds=" << d.seconds << "\n";
+  }
   return out.str();
 }
 
@@ -308,6 +376,9 @@ const char* event_kind_name(FaultEvent::Kind kind) {
     case FaultEvent::Kind::Watchdog: return "watchdog";
     case FaultEvent::Kind::Recovery: return "recovery";
     case FaultEvent::Kind::Shutdown: return "shutdown";
+    case FaultEvent::Kind::SocketDrop: return "socket-drop";
+    case FaultEvent::Kind::SocketDelay: return "socket-delay";
+    case FaultEvent::Kind::ConnectRetry: return "connect-retry";
   }
   return "?";
 }

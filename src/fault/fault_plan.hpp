@@ -88,6 +88,36 @@ struct MessageDelay {
   double seconds = 0.0;
 };
 
+/// Multi-process transport: every `every`-th data frame sent by `stage`
+/// (-1: every stage) is dropped on the wire before delivery; the sender
+/// detects the loss and retries up to `max_retries` times per frame. At
+/// most `count` drops fire in total — a retry budget smaller than a
+/// persistent drop rate turns this into a structured send failure.
+struct SocketDrop {
+  int stage = -1;
+  std::int64_t every = 1;
+  int count = 1;
+  int max_retries = 3;
+};
+
+/// Multi-process transport: establishing the data transport adjacent to
+/// `stage` fails `failures` times before succeeding; setup retries with
+/// backoff and records a ConnectRetry event per failure.
+struct SocketConnectFail {
+  int stage = 0;
+  int failures = 1;
+};
+
+/// Multi-process transport: every `every`-th data frame sent by `stage`
+/// (-1: every stage) is delivered `seconds` late — the sender genuinely
+/// sleeps before the write, so the added latency is measurable in the
+/// receiver-side wall clock and the recorded obs trace.
+struct SocketDelay {
+  int stage = -1;
+  std::int64_t every = 1;
+  double seconds = 0.0;
+};
+
 struct FaultPlan {
   std::uint64_t seed = 1;
   std::vector<Straggler> stragglers;
@@ -96,10 +126,15 @@ struct FaultPlan {
   std::vector<StageCrash> stage_crashes; // threaded-runtime substrate
   std::vector<StageHang> stage_hangs;
   std::vector<MessageDelay> delays;
+  std::vector<SocketDrop> socket_drops;  // multi-process transport (src/dist)
+  std::vector<SocketConnectFail> socket_connect_fails;
+  std::vector<SocketDelay> socket_delays;
 
   bool empty() const {
     return stragglers.empty() && links.empty() && crashes.empty() &&
-           stage_crashes.empty() && stage_hangs.empty() && delays.empty();
+           stage_crashes.empty() && stage_hangs.empty() && delays.empty() &&
+           socket_drops.empty() && socket_connect_fails.empty() &&
+           socket_delays.empty();
   }
 };
 
@@ -131,6 +166,9 @@ std::string render(const std::vector<PlanIssue>& issues);
 //   stage_crash stage=1 after_messages=9
 //   stage_hang stage=2 after_messages=4
 //   delay stage=0 every=3 seconds=0.002
+//   socket_drop stage=1 every=3 count=2 max_retries=5
+//   socket_connect stage=1 failures=2
+//   socket_delay stage=0 every=2 seconds=0.001
 
 FaultPlan parse_plan(const std::string& text);
 std::string to_text(const FaultPlan& plan);
@@ -148,6 +186,9 @@ struct FaultEvent {
     Watchdog,   // starvation probe fired; blocked-on table attached
     Recovery,   // stage respawned, microbatches replayed
     Shutdown,   // worker aborted by channel poisoning
+    SocketDrop,    // data frame dropped on the wire (sender retried)
+    SocketDelay,   // data frame delivered late (injected socket latency)
+    ConnectRetry,  // transient transport setup failure, retried
   };
   Kind kind = Kind::Straggler;
   int device = -1;          // device (simulator) or stage (runtime)

@@ -1,0 +1,98 @@
+#include "src/runtime/commit.hpp"
+
+#include "src/util/logging.hpp"
+
+namespace slim::rt {
+
+StageCommit make_stage_commit(const PipelineModel& model, int stage,
+                              bool vocab_parallel) {
+  StageCommit commit;
+  const std::vector<std::vector<int>> owned = model.owned_layers();
+  const std::size_t n_owned = owned[static_cast<std::size_t>(stage)].size();
+  for (std::size_t i = 0; i < n_owned; ++i) {
+    commit.layers.push_back(num::LayerGrads::zeros(model.dims));
+  }
+  const bool is_head = stage == model.head_stage();
+  const std::int64_t shard_width =
+      vocab_parallel ? model.vocab / model.stages : model.vocab;
+  if (stage == 0) {
+    commit.embed_in = num::Tensor(model.vocab, model.dims.hidden);
+  }
+  if (vocab_parallel || is_head) {
+    commit.head_shard = num::Tensor(shard_width, model.dims.hidden);
+  }
+  if (is_head) {
+    commit.final_norm = num::Tensor(1, model.dims.hidden);
+  }
+  return commit;
+}
+
+CommitLedger::CommitLedger(const PipelineModel& model, int microbatches,
+                           bool vocab_parallel)
+    : model_(&model),
+      stages_(model.stages),
+      microbatches_(microbatches),
+      vocab_parallel_(vocab_parallel),
+      shard_width_(vocab_parallel ? model.vocab / model.stages : model.vocab),
+      owned_(model.owned_layers()),
+      slots_(static_cast<std::size_t>(model.stages) *
+             static_cast<std::size_t>(microbatches)) {
+  SLIM_CHECK(microbatches >= 1, "ledger without microbatches");
+}
+
+void CommitLedger::prepare(int stage, int mb) {
+  slot(stage, mb) = make_stage_commit(*model_, stage, vocab_parallel_);
+}
+
+StageCommit& CommitLedger::slot(int stage, int mb) {
+  SLIM_CHECK(stage >= 0 && stage < stages_ && mb >= 0 && mb < microbatches_,
+             "commit slot out of range");
+  return slots_[static_cast<std::size_t>(stage) *
+                    static_cast<std::size_t>(microbatches_) +
+                static_cast<std::size_t>(mb)];
+}
+
+const StageCommit& CommitLedger::slot(int stage, int mb) const {
+  return const_cast<CommitLedger*>(this)->slot(stage, mb);
+}
+
+bool CommitLedger::fully_committed(int mb) const {
+  for (int s = 0; s < stages_; ++s) {
+    if (!slot(s, mb).complete) return false;
+  }
+  return true;
+}
+
+std::vector<int> CommitLedger::uncommitted() const {
+  std::vector<int> out;
+  for (int mb = 0; mb < microbatches_; ++mb) {
+    if (!fully_committed(mb)) out.push_back(mb);
+  }
+  return out;
+}
+
+void CommitLedger::merge_microbatch(int mb, num::TinyModel::Grads& grads,
+                                    std::vector<num::Tensor>& head_shard_grad,
+                                    double& loss_sum) const {
+  for (int s = 0; s < stages_; ++s) {
+    const StageCommit& commit = slot(s, mb);
+    const std::vector<int>& owned = owned_[static_cast<std::size_t>(s)];
+    SLIM_CHECK(commit.layers.size() == owned.size(),
+               "commit slot layer count mismatch");
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      grads.layers[static_cast<std::size_t>(owned[i])].add_(commit.layers[i]);
+    }
+    if (commit.embed_in.size() > 0) {
+      grads.embedding.add_(commit.embed_in);
+    }
+    if (commit.head_shard.size() > 0) {
+      head_shard_grad[static_cast<std::size_t>(s)].add_(commit.head_shard);
+    }
+    if (commit.final_norm.size() > 0) {
+      grads.final_norm.add_(commit.final_norm);
+    }
+    loss_sum += commit.loss;
+  }
+}
+
+}  // namespace slim::rt

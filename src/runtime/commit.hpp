@@ -1,0 +1,98 @@
+#pragma once
+
+// The staged per-microbatch gradient-commit protocol, shared by the
+// threaded and multi-process pipeline backends.
+//
+// Every (stage, microbatch) pair stages its gradient contributions into a
+// private StageCommit while the microbatch is in flight; the slot becomes
+// `complete` exactly when the microbatch retires on that stage (all of its
+// backward slices finished). A microbatch's work enters the iteration
+// result only once it retired on EVERY stage — a crash mid-iteration
+// therefore discards precisely the partial work, and replaying the
+// uncommitted microbatches on respawned workers reproduces the fault-free
+// gradients bit for bit (per-microbatch contributions are deterministic
+// and the merge runs in a fixed stage-major order on one thread).
+//
+// In the threaded backend the slots live in shared memory and workers
+// write them directly; in the multi-process backend each worker stages
+// locally and ships the finished slot to the supervisor in a Commit frame
+// at the retirement point — at-most-once semantics fall out of the frame
+// being sent only at retirement and the supervisor overwriting the slot
+// wholesale (a torn frame from a killed worker is detected by its CRC and
+// discarded, leaving the slot incomplete, i.e. scheduled for replay).
+
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/pipeline_model.hpp"
+
+namespace slim::rt {
+
+/// Staged contribution of one (stage, microbatch) pair. Field presence
+/// follows the stage's role: embed_in only on stage 0, final_norm only on
+/// the head stage, head_shard on the head stage (or on every stage under
+/// vocabulary parallelism).
+struct StageCommit {
+  std::vector<num::LayerGrads> layers;  // indexed like owned_layers[stage]
+  num::Tensor embed_in;                 // input-side embedding grads
+  num::Tensor head_shard;               // output-head shard grads
+  num::Tensor final_norm;               // final-norm grads
+  double loss = 0.0;
+  bool complete = false;
+};
+
+/// Freshly zeroed staging buffers for one (stage, microbatch) slot — used
+/// by the ledger and by multi-process stage workers staging locally.
+StageCommit make_stage_commit(const PipelineModel& model, int stage,
+                              bool vocab_parallel);
+
+/// All (stage, microbatch) commit slots of one iteration plus the
+/// deterministic merge. Slot writers are exclusive per (stage, mb):
+/// threaded workers write their stage's slots in place; the multi-process
+/// supervisor deserializes received Commit frames into them. The merge and
+/// the committed/uncommitted queries run single-threaded after workers
+/// quiesced (join / waitpid is the synchronization point).
+class CommitLedger {
+ public:
+  CommitLedger() = default;
+  CommitLedger(const PipelineModel& model, int microbatches,
+               bool vocab_parallel);
+
+  /// (Re)initializes the slot to zeroed, incomplete staging buffers —
+  /// called for every participating (stage, mb) at the start of an attempt
+  /// (including the replay attempt, which discards prior partial work).
+  void prepare(int stage, int mb);
+
+  StageCommit& slot(int stage, int mb);
+  const StageCommit& slot(int stage, int mb) const;
+
+  /// True when the microbatch retired on every stage.
+  bool fully_committed(int mb) const;
+
+  /// Ascending microbatch ids not yet fully committed.
+  std::vector<int> uncommitted() const;
+
+  /// Merges one fully retired microbatch into the iteration accumulators
+  /// in the fixed stage-major order both backends share: for each stage
+  /// ascending — owned layer grads, embed_in, head_shard (into the
+  /// caller's per-stage shard accumulator), final_norm, loss.
+  void merge_microbatch(int mb, num::TinyModel::Grads& grads,
+                        std::vector<num::Tensor>& head_shard_grad,
+                        double& loss_sum) const;
+
+  const std::vector<std::vector<int>>& owned() const { return owned_; }
+  int stages() const { return stages_; }
+  int microbatches() const { return microbatches_; }
+  std::int64_t shard_width() const { return shard_width_; }
+
+ private:
+  const PipelineModel* model_ = nullptr;
+  int stages_ = 0;
+  int microbatches_ = 0;
+  bool vocab_parallel_ = false;
+  std::int64_t shard_width_ = 0;
+  std::vector<std::vector<int>> owned_;
+  std::vector<StageCommit> slots_;  // stage-major: [stage * m + mb]
+};
+
+}  // namespace slim::rt

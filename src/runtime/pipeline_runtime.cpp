@@ -113,6 +113,9 @@ struct StageStatus {
   std::atomic<int> peak_live{0};
   std::atomic<int> deferred{0};
   std::atomic<int> committed{0};
+  /// Microbatch id of the last message this stage received (-1 before the
+  /// first) — pins down where in the schedule a blocked stage stopped.
+  std::atomic<int> last_mb{-1};
 };
 
 /// Shutdown coordination: the first failing worker records the root cause,
@@ -131,33 +134,8 @@ struct Control {
 ThreadedPipeline::ThreadedPipeline(num::BlockDims dims, std::int64_t vocab,
                                    int layers_total, int stages, Rng& rng,
                                    int chunks_per_stage)
-    : dims_(dims),
-      vocab_(vocab),
-      layers_total_(layers_total),
-      stages_(stages),
-      chunks_per_stage_(chunks_per_stage) {
-  const int total_stages = stages * chunks_per_stage;
-  SLIM_CHECK(stages >= 1 && chunks_per_stage >= 1 &&
-                 layers_total >= total_stages,
-             "need at least one layer per stage chunk");
-  embedding_ = num::Tensor::randn(
-      vocab, dims.hidden, rng, 0.5f / std::sqrt(static_cast<float>(dims.hidden)));
-  final_norm_ = num::Tensor(1, dims.hidden);
-  final_norm_.fill(1.0f);
-  for (int i = 0; i < layers_total; ++i) {
-    layer_weights_.push_back(num::LayerWeights::random(dims, rng));
-  }
-  // Even split over global stages; earlier stages take the remainder
-  // (matches the scheduler's uneven-stage convention).
-  const int base = layers_total / total_stages;
-  const int rem = layers_total % total_stages;
-  int begin = 0;
-  for (int s = 0; s < total_stages; ++s) {
-    const int count = base + (s < rem ? 1 : 0);
-    stage_layers_.emplace_back(begin, begin + count);
-    begin += count;
-  }
-}
+    : model_(PipelineModel::build(dims, vocab, layers_total, stages, rng,
+                                  chunks_per_stage)) {}
 
 ThreadedPipeline::Result ThreadedPipeline::run_iteration(
     const std::vector<std::vector<std::int64_t>>& tokens,
@@ -181,9 +159,9 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
   SLIM_CHECK(n_slices >= 1 && seq % n_slices == 0, "uneven slices");
   const std::int64_t slice_len = seq / n_slices;
   const int p = stages();
-  SLIM_CHECK(!vocab_parallel || vocab_ % p == 0,
+  SLIM_CHECK(!vocab_parallel || model_.vocab % p == 0,
              "vocabulary must split evenly across stages");
-  const std::int64_t shard_width = vocab_parallel ? vocab_ / p : vocab_;
+  const std::int64_t shard_width = vocab_parallel ? model_.vocab / p : model_.vocab;
   const fault::FaultPlan* plan = options.faults;
   if (plan != nullptr) {
     const std::vector<fault::PlanIssue> issues = validate(*plan, p);
@@ -192,11 +170,11 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
   }
 
   Result result;
-  result.grads.embedding = num::Tensor(vocab_, dims_.hidden);
-  for (int i = 0; i < layers_total_; ++i) {
-    result.grads.layers.push_back(num::LayerGrads::zeros(dims_));
+  result.grads.embedding = num::Tensor(model_.vocab, model_.dims.hidden);
+  for (int i = 0; i < model_.layers_total; ++i) {
+    result.grads.layers.push_back(num::LayerGrads::zeros(model_.dims));
   }
-  result.grads.final_norm = num::Tensor(1, dims_.hidden);
+  result.grads.final_norm = num::Tensor(1, model_.dims.hidden);
   result.stats.peak_live_slices.assign(static_cast<std::size_t>(p), 0);
   result.stats.messages.assign(static_cast<std::size_t>(p), 0);
 
@@ -221,47 +199,32 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
     }
   }
 
-  const int v = chunks_per_stage_;
+  const int v = model_.chunks_per_stage;
   const int total_stages = p * v;
-  const int head_thread = (total_stages - 1) % p;
+  const int head_thread = model_.head_stage();
 
   // Global layer ids owned by each stage thread, chunk-major — the index
   // space of the per-microbatch staged gradients.
-  std::vector<std::vector<int>> owned_layers(static_cast<std::size_t>(p));
-  for (int s = 0; s < p; ++s) {
-    for (int chunk = 0; chunk < v; ++chunk) {
-      const auto [lo, hi] =
-          stage_layers_[static_cast<std::size_t>(chunk * p + s)];
-      for (int i = lo; i < hi; ++i) {
-        owned_layers[static_cast<std::size_t>(s)].push_back(i);
-      }
-    }
-  }
+  const std::vector<std::vector<int>> owned_layers = model_.owned_layers();
 
   // Cross-attempt accumulators. Output-head gradients stay per stage shard
   // until the final merge (one row-shard per stage under vocabulary
   // parallelism, the full head on the head thread otherwise).
   std::vector<num::Tensor> head_shard_grad;
   for (int s = 0; s < p; ++s) {
-    head_shard_grad.emplace_back(vocab_parallel ? shard_width : vocab_,
-                                 dims_.hidden);
+    head_shard_grad.emplace_back(vocab_parallel ? shard_width : model_.vocab,
+                                 model_.dims.hidden);
   }
   double total_loss = 0.0;
   const float slice_weight = static_cast<float>(slice_len) /
                              (static_cast<float>(seq) * static_cast<float>(m));
   fault::FaultReport iteration_report;
 
-  /// Worker-local staged contribution of one (stage, microbatch) pair.
-  /// Committed (merged into the result) only when the microbatch fully
-  /// retired — a crash mid-iteration discards exactly the partial work.
-  struct MbStage {
-    std::vector<num::LayerGrads> layers;  // indexed like owned_layers[stage]
-    num::Tensor embed_in;     // input-side embedding grads (stage 0)
-    num::Tensor head_shard;   // output-head shard grads
-    num::Tensor final_norm;   // final-norm grads (head thread)
-    double loss = 0.0;
-    bool complete = false;
-  };
+  // All (stage, microbatch) staged contributions of the iteration — the
+  // shared commit protocol (src/runtime/commit.hpp). A slot is merged into
+  // the result only when its microbatch fully retired; a crash
+  // mid-iteration discards exactly the partial work.
+  CommitLedger ledger(model_, m, vocab_parallel);
 
   struct AttemptOutcome {
     bool crashed = false;
@@ -289,10 +252,10 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
       }
     }
 
-    std::vector<std::vector<MbStage>> staged(static_cast<std::size_t>(p));
+    // Fresh zeroed staging slots for every participating (stage, mb) pair —
+    // on the replay attempt this discards the crashed attempt's partials.
     for (int s = 0; s < p; ++s) {
-      staged[static_cast<std::size_t>(s)].resize(
-          static_cast<std::size_t>(mk));
+      for (const int mb : mbs) ledger.prepare(s, mb);
     }
     std::vector<StageStatus> statuses(static_cast<std::size_t>(p));
     std::vector<std::vector<fault::FaultEvent>> stage_events(
@@ -315,10 +278,11 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
     // and blocked-on state, assembled lock-free from the published atomics.
     auto blocked_table = [&]() -> std::string {
       Table table({"stage", "state", "messages", "fwd", "bwd", "live", "cap",
-                   "deferred", "committed mbs"});
+                   "deferred", "queue", "last mb", "committed mbs"});
       for (int s = 0; s < p; ++s) {
         const StageStatus& st = statuses[static_cast<std::size_t>(s)];
         const int cap = n_slices * v + 2 * (p - 1 - s);
+        const int last_mb = st.last_mb.load();
         table.add_row(
             {std::to_string(s),
              state_name(static_cast<StageState>(st.state.load())),
@@ -329,6 +293,8 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
                  std::to_string(want_b_per_stage),
              std::to_string(st.live.load()), std::to_string(cap),
              std::to_string(st.deferred.load()),
+             std::to_string(inbox[static_cast<std::size_t>(s)].size()),
+             last_mb < 0 ? std::string("-") : std::to_string(last_mb),
              std::to_string(st.committed.load()) + "/" + std::to_string(mk)});
       }
       return table.to_string();
@@ -345,8 +311,6 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
       util::ScopedKernelThreads kernel_guard(kernel_cap);
       StageStatus& status = statuses[static_cast<std::size_t>(stage)];
       StageProbe& probe = probes[static_cast<std::size_t>(stage)];
-      std::vector<MbStage>& stage_staged =
-          staged[static_cast<std::size_t>(stage)];
       std::vector<fault::FaultEvent>& events =
           stage_events[static_cast<std::size_t>(stage)];
 
@@ -368,16 +332,16 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
       std::vector<std::vector<num::Layer>> chunk_layers(
           static_cast<std::size_t>(v));
       std::vector<int> local_of_global(
-          static_cast<std::size_t>(layers_total_), -1);
+          static_cast<std::size_t>(model_.layers_total), -1);
       {
         int local = 0;
         for (int chunk = 0; chunk < v; ++chunk) {
           const int global_stage = chunk * p + stage;
           const auto [clo, chi] =
-              stage_layers_[static_cast<std::size_t>(global_stage)];
+              model_.stage_layers[static_cast<std::size_t>(global_stage)];
           for (int i = clo; i < chi; ++i) {
             chunk_layers[static_cast<std::size_t>(chunk)].emplace_back(
-                dims_, layer_weights_[static_cast<std::size_t>(i)]);
+                model_.dims, model_.layer_weights[static_cast<std::size_t>(i)]);
             if (!arena_stats.empty()) {
               chunk_layers[static_cast<std::size_t>(chunk)]
                   .back()
@@ -393,23 +357,8 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
           vocab_parallel ? stage * shard_width : 0;
       const num::Tensor head_shard =
           vocab_parallel
-              ? embedding_.slice_rows(shard_lo, shard_lo + shard_width)
-              : embedding_;
-
-      // Per-microbatch staging buffers (committed at retirement).
-      const std::size_t owned =
-          owned_layers[static_cast<std::size_t>(stage)].size();
-      for (MbStage& mb_stage : stage_staged) {
-        for (std::size_t i = 0; i < owned; ++i) {
-          mb_stage.layers.push_back(num::LayerGrads::zeros(dims_));
-        }
-        if (stage == 0) mb_stage.embed_in = num::Tensor(vocab_, dims_.hidden);
-        if (vocab_parallel || is_last) {
-          mb_stage.head_shard =
-              num::Tensor(vocab_parallel ? shard_width : vocab_, dims_.hidden);
-        }
-        if (is_last) mb_stage.final_norm = num::Tensor(1, dims_.hidden);
-      }
+              ? model_.embedding.slice_rows(shard_lo, shard_lo + shard_width)
+              : model_.embedding;
 
       // Last-stage per-(rank, slice) state.
       auto idx = [&](int mb, int slice) {
@@ -537,6 +486,7 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
           }
           ++messages;
           status.messages.store(messages);
+          status.last_mb.store(received.mb);
           if (hang_at > 0 && messages == hang_at) {
             // The stage silently stops making progress; peers starve and
             // the watchdog reports it. Park until the shutdown broadcast.
@@ -603,7 +553,7 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
         const auto busy_start = std::chrono::steady_clock::now();
         const int rank = rank_of[static_cast<std::size_t>(msg.mb)];
         SLIM_CHECK(rank >= 0, "message for a microbatch outside the attempt");
-        MbStage& mb_staged = stage_staged[static_cast<std::size_t>(rank)];
+        StageCommit& mb_staged = ledger.slot(stage, msg.mb);
         switch (msg.kind) {
           case Message::Kind::Forward: {
             ++done_f;
@@ -616,12 +566,12 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
                 static_cast<std::int64_t>(msg.slice) * slice_len;
             num::Tensor x;
             if (msg.stage == 0) {
-              x = num::Tensor(slice_len, dims_.hidden);
+              x = num::Tensor(slice_len, model_.dims.hidden);
               const auto& ids = tokens[static_cast<std::size_t>(msg.mb)];
               for (std::int64_t r = 0; r < slice_len; ++r) {
                 const std::int64_t id = ids[static_cast<std::size_t>(pos + r)];
-                for (std::int64_t c = 0; c < dims_.hidden; ++c) {
-                  x.at(r, c) = embedding_.at(id, c);
+                for (std::int64_t c = 0; c < model_.dims.hidden; ++c) {
+                  x.at(r, c) = model_.embedding.at(id, c);
                 }
               }
             } else {
@@ -637,7 +587,7 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
                        msg.stage + 1, std::move(x)});
               break;
             }
-            const num::Tensor hidden = num::rmsnorm(x, final_norm_);
+            const num::Tensor hidden = num::rmsnorm(x, model_.final_norm);
             if (vocab_parallel) {
               // Phase 1: broadcast the hidden states to every shard.
               final_input[idx(msg.mb, msg.slice)] = std::move(x);
@@ -646,7 +596,7 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
                             hidden});
               }
             } else {
-              const num::Tensor logits = num::matmul_nt(hidden, embedding_);
+              const num::Tensor logits = num::matmul_nt(hidden, model_.embedding);
               num::CeResult ce = num::cross_entropy(
                   logits, slice_targets_of(msg.mb, msg.slice));
               mb_staged.loss +=
@@ -655,9 +605,9 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
                 ce.dlogits.data()[i] *= slice_weight;
               }
               mb_staged.head_shard.add_(num::matmul_tn(ce.dlogits, hidden));
-              const num::Tensor dhidden = num::matmul(ce.dlogits, embedding_);
+              const num::Tensor dhidden = num::matmul(ce.dlogits, model_.embedding);
               head_grad[idx(msg.mb, msg.slice)] = num::rmsnorm_bwd(
-                  x, final_norm_, dhidden, mb_staged.final_norm);
+                  x, model_.final_norm, dhidden, mb_staged.final_norm);
               head_ready[idx(msg.mb, msg.slice)] = true;
               if (msg.slice == n_slices - 1) {
                 inbox[static_cast<std::size_t>(stage)].send_front(
@@ -687,7 +637,7 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
             auto& layers =
                 chunk_layers[static_cast<std::size_t>(msg.stage / p)];
             const int clo =
-                stage_layers_[static_cast<std::size_t>(msg.stage)].first;
+                model_.stage_layers[static_cast<std::size_t>(msg.stage)].first;
             for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
               const std::size_t global = static_cast<std::size_t>(
                   clo + static_cast<int>(layers.rend() - it) - 1);
@@ -706,7 +656,7 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
                   static_cast<std::int64_t>(msg.slice) * slice_len;
               for (std::int64_t r = 0; r < slice_len; ++r) {
                 const std::int64_t id = ids[static_cast<std::size_t>(pos + r)];
-                for (std::int64_t c = 0; c < dims_.hidden; ++c) {
+                for (std::int64_t c = 0; c < model_.dims.hidden; ++c) {
                   mb_staged.embed_in.at(id, c) += dx.at(r, c);
                 }
               }
@@ -833,7 +783,7 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
               dx_sum[i].add_(msg.payload);
             }
             if (++dx_seen[i] == p) {
-              head_grad[i] = num::rmsnorm_bwd(final_input[i], final_norm_,
+              head_grad[i] = num::rmsnorm_bwd(final_input[i], model_.final_norm,
                                               dx_sum[i],
                                               mb_staged.final_norm);
               head_ready[i] = true;
@@ -923,26 +873,8 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
     // Merge one rank's staged contributions in deterministic (stage-major)
     // order; called only for fully retired microbatches.
     auto merge_rank = [&](int rank) {
-      for (int s = 0; s < p; ++s) {
-        MbStage& mb_staged = staged[static_cast<std::size_t>(s)]
-                                   [static_cast<std::size_t>(rank)];
-        const auto& owned = owned_layers[static_cast<std::size_t>(s)];
-        for (std::size_t i = 0; i < owned.size(); ++i) {
-          result.grads.layers[static_cast<std::size_t>(owned[i])].add_(
-              mb_staged.layers[i]);
-        }
-        if (mb_staged.embed_in.size() > 0) {
-          result.grads.embedding.add_(mb_staged.embed_in);
-        }
-        if (mb_staged.head_shard.size() > 0) {
-          head_shard_grad[static_cast<std::size_t>(s)].add_(
-              mb_staged.head_shard);
-        }
-        if (mb_staged.final_norm.size() > 0) {
-          result.grads.final_norm.add_(mb_staged.final_norm);
-        }
-        total_loss += mb_staged.loss;
-      }
+      ledger.merge_microbatch(mbs[static_cast<std::size_t>(rank)],
+                              result.grads, head_shard_grad, total_loss);
     };
 
     AttemptOutcome outcome;
@@ -970,14 +902,7 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
         outcome.crashed = true;
         outcome.crashed_stage = crash.stage;
         for (int rank = 0; rank < mk; ++rank) {
-          bool everywhere = true;
-          for (int s = 0; s < p; ++s) {
-            everywhere = everywhere &&
-                         staged[static_cast<std::size_t>(s)]
-                               [static_cast<std::size_t>(rank)]
-                                   .complete;
-          }
-          if (everywhere) {
+          if (ledger.fully_committed(mbs[static_cast<std::size_t>(rank)])) {
             merge_rank(rank);
             outcome.committed[static_cast<std::size_t>(rank)] = true;
           }
@@ -1107,56 +1032,20 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
 ThreadedPipeline::Result ThreadedPipeline::run_reference(
     const std::vector<std::vector<std::int64_t>>& tokens,
     const std::vector<std::vector<std::int64_t>>& targets) {
-  const int m = static_cast<int>(tokens.size());
-  const std::int64_t seq = static_cast<std::int64_t>(tokens[0].size());
-
+  ReferenceResult reference = reference_run(model_, tokens, targets);
   Result result;
-  result.grads.embedding = num::Tensor(vocab_, dims_.hidden);
-  for (int i = 0; i < layers_total_; ++i) {
-    result.grads.layers.push_back(num::LayerGrads::zeros(dims_));
-  }
-  result.grads.final_norm = num::Tensor(1, dims_.hidden);
-
-  std::vector<num::Layer> layers;
-  for (const auto& w : layer_weights_) layers.emplace_back(dims_, w);
-
-  for (int mb = 0; mb < m; ++mb) {
-    num::Tensor x(seq, dims_.hidden);
-    for (std::int64_t r = 0; r < seq; ++r) {
-      const std::int64_t id = tokens[static_cast<std::size_t>(mb)]
-                                    [static_cast<std::size_t>(r)];
-      for (std::int64_t c = 0; c < dims_.hidden; ++c) {
-        x.at(r, c) = embedding_.at(id, c);
-      }
-    }
-    for (num::Layer& layer : layers) x = layer.forward_slice(x, 0, mb);
-
-    const num::Tensor hidden = num::rmsnorm(x, final_norm_);
-    const num::Tensor logits = num::matmul_nt(hidden, embedding_);
-    num::CeResult ce =
-        num::cross_entropy(logits, targets[static_cast<std::size_t>(mb)]);
-    result.loss += ce.loss / static_cast<double>(m);
-    for (std::int64_t i = 0; i < ce.dlogits.size(); ++i) {
-      ce.dlogits.data()[i] /= static_cast<float>(m);
-    }
-    result.grads.embedding.add_(num::matmul_tn(ce.dlogits, hidden));
-    const num::Tensor dhidden = num::matmul(ce.dlogits, embedding_);
-    num::Tensor dx =
-        num::rmsnorm_bwd(x, final_norm_, dhidden, result.grads.final_norm);
-    for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
-      const std::size_t global =
-          layers.size() - static_cast<std::size_t>(it - layers.rbegin()) - 1;
-      dx = it->backward_slice(dx, result.grads.layers[global], mb);
-    }
-    for (std::int64_t r = 0; r < seq; ++r) {
-      const std::int64_t id = tokens[static_cast<std::size_t>(mb)]
-                                    [static_cast<std::size_t>(r)];
-      for (std::int64_t c = 0; c < dims_.hidden; ++c) {
-        result.grads.embedding.at(id, c) += dx.at(r, c);
-      }
-    }
-  }
+  result.loss = reference.loss;
+  result.grads = std::move(reference.grads);
   return result;
+}
+
+std::chrono::milliseconds default_starvation_timeout() {
+  const char* env = std::getenv("SLIMPIPE_STARVATION_TIMEOUT_MS");
+  if (env != nullptr && env[0] != '\0') {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value >= 1) return std::chrono::milliseconds(value);
+  }
+  return std::chrono::milliseconds(30000);
 }
 
 }  // namespace slim::rt

@@ -34,9 +34,16 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/runtime/channel.hpp"
+#include "src/runtime/commit.hpp"
+#include "src/runtime/pipeline_model.hpp"
 #include "src/util/rng.hpp"
 
 namespace slim::rt {
+
+/// Default for RunOptions::starvation_timeout: SLIMPIPE_STARVATION_TIMEOUT_MS
+/// when set to a positive integer, else 30 s. Sanitizer-slowed CI runs
+/// raise it via the env so legitimate long waits don't trip the watchdog.
+std::chrono::milliseconds default_starvation_timeout();
 
 struct PipelineStats {
   /// Peak simultaneously-live slices per stage (the Eq. 1 quantity in
@@ -79,7 +86,7 @@ struct RunOptions {
   /// Starvation probe: a stage blocked in receive for this long collects
   /// the per-stage blocked-on table and fails the iteration (the
   /// watchdog). Short values let fault tests probe deadlocks quickly.
-  std::chrono::milliseconds starvation_timeout{std::chrono::seconds(30)};
+  std::chrono::milliseconds starvation_timeout = default_starvation_timeout();
   /// Runtime-substrate faults to inject (stage crashes/hangs, delays).
   const fault::FaultPlan* faults = nullptr;
   /// After an injected stage crash: respawn the stage from the parameter
@@ -155,20 +162,17 @@ class ThreadedPipeline {
   Result run_reference(const std::vector<std::vector<std::int64_t>>& tokens,
                        const std::vector<std::vector<std::int64_t>>& targets);
 
-  int stages() const { return stages_; }
-  int chunks_per_stage() const { return chunks_per_stage_; }
-  std::int64_t layers_total() const { return layers_total_; }
+  int stages() const { return model_.stages; }
+  int chunks_per_stage() const { return model_.chunks_per_stage; }
+  std::int64_t layers_total() const { return model_.layers_total; }
+
+  /// The shared model split (weights + stage layout) this pipeline runs —
+  /// the multi-process backend builds its own PipelineModel the same way,
+  /// so equal seeds give bit-identical parameters across backends.
+  const PipelineModel& model() const { return model_; }
 
  private:
-  num::BlockDims dims_;
-  std::int64_t vocab_;
-  std::int64_t layers_total_;
-  int stages_ = 1;
-  int chunks_per_stage_ = 1;
-  num::Tensor embedding_;
-  num::Tensor final_norm_;
-  std::vector<num::LayerWeights> layer_weights_;   // all layers, in order
-  std::vector<std::pair<int, int>> stage_layers_;  // [begin, end) per global stage
+  PipelineModel model_;
 };
 
 }  // namespace slim::rt

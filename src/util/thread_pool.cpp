@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <new>
 
 #include "src/util/logging.hpp"
 
@@ -202,6 +203,28 @@ void ThreadPool::parallel_for(
     error = job->error;
   }
   if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::run_locked(const std::function<void()>& fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fn();
+}
+
+void ThreadPool::child_after_fork() {
+  // The forking thread held mutex_ across the fork (run_locked), so no
+  // worker was mid-bookkeeping in the snapshot — but the mutex itself was
+  // inherited locked and the worker threads are gone. Joining (or even
+  // destroying) their std::thread handles would terminate, so the handles
+  // and any queued jobs are deliberately leaked; the primitives are
+  // reconstructed in place and the pool is forced serial.
+  auto* orphaned_workers = new std::vector<std::thread>();
+  orphaned_workers->swap(workers_);
+  auto* orphaned_jobs = new std::vector<std::shared_ptr<Job>>();
+  orphaned_jobs->swap(jobs_);
+  new (&mutex_) std::mutex();
+  new (&cv_) std::condition_variable();
+  configured_ = 1;
+  stop_ = false;
 }
 
 ScopedKernelThreads::ScopedKernelThreads(int cap) : previous_(t_kernel_cap) {

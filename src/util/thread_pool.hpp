@@ -69,6 +69,23 @@ class ThreadPool {
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
 
+  /// Fork support for the multi-process runtime (src/dist). A fork() from a
+  /// process whose pool has live workers snapshots the pool's mutex and job
+  /// queue in whatever state they were in — possibly mid-critical-section
+  /// on a thread that does not exist in the child. `run_locked` executes fn
+  /// (which should call fork()) while holding the pool's internal lock, so
+  /// the child inherits the lock in a known-held state with no worker
+  /// inside parallel_for bookkeeping.
+  void run_locked(const std::function<void()>& fn);
+
+  /// Child-side half of the fork protocol: called immediately after fork()
+  /// in the child (whose only thread is the forker). Reinitializes the
+  /// synchronization primitives in place, discards the inherited job queue
+  /// and std::thread handles (the worker threads do not exist in the
+  /// child), and forces the pool serial. The child must never spawn pool
+  /// threads — stage workers run their kernels single-threaded.
+  void child_after_fork();
+
  private:
   struct Job;
   void worker_loop();

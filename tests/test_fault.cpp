@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #include "src/core/runner.hpp"
@@ -31,6 +32,9 @@ FaultPlan full_plan() {
   plan.stage_crashes.push_back({1, 9});
   plan.stage_hangs.push_back({2, 4});
   plan.delays.push_back({0, 3, 0.002});
+  plan.socket_drops.push_back({1, 3, 2, 5});
+  plan.socket_connect_fails.push_back({1, 2});
+  plan.socket_delays.push_back({0, 2, 0.001});
   return plan;
 }
 
@@ -49,6 +53,17 @@ TEST(FaultPlanTextTest, RoundTrip) {
   EXPECT_EQ(reparsed.crashes[0].at_op, 37);
   ASSERT_EQ(reparsed.delays.size(), 1u);
   EXPECT_DOUBLE_EQ(reparsed.delays[0].seconds, 0.002);
+  ASSERT_EQ(reparsed.socket_drops.size(), 1u);
+  EXPECT_EQ(reparsed.socket_drops[0].stage, 1);
+  EXPECT_EQ(reparsed.socket_drops[0].every, 3);
+  EXPECT_EQ(reparsed.socket_drops[0].count, 2);
+  EXPECT_EQ(reparsed.socket_drops[0].max_retries, 5);
+  ASSERT_EQ(reparsed.socket_connect_fails.size(), 1u);
+  EXPECT_EQ(reparsed.socket_connect_fails[0].stage, 1);
+  EXPECT_EQ(reparsed.socket_connect_fails[0].failures, 2);
+  ASSERT_EQ(reparsed.socket_delays.size(), 1u);
+  EXPECT_EQ(reparsed.socket_delays[0].every, 2);
+  EXPECT_DOUBLE_EQ(reparsed.socket_delays[0].seconds, 0.001);
 }
 
 TEST(FaultPlanTextTest, CommentsAndBlankLinesIgnored) {
@@ -133,6 +148,33 @@ TEST(FaultPlanValidateTest, DelayParamsRule) {
   FaultPlan plan;
   plan.delays.push_back({-1, 0, 0.001});
   EXPECT_TRUE(has_rule(validate(plan), "fault-delay-params"));
+}
+
+TEST(FaultPlanValidateTest, SocketDropParamsRule) {
+  FaultPlan plan;
+  plan.socket_drops.push_back({-1, 0, 1, 3});  // every < 1
+  EXPECT_TRUE(has_rule(validate(plan), "fault-socket-drop-params"));
+  FaultPlan negative_retries;
+  negative_retries.socket_drops.push_back({-1, 1, 1, -1});
+  EXPECT_TRUE(
+      has_rule(validate(negative_retries), "fault-socket-drop-params"));
+}
+
+TEST(FaultPlanValidateTest, SocketConnectParamsRule) {
+  FaultPlan plan;
+  plan.socket_connect_fails.push_back({0, 0});  // failures < 1
+  EXPECT_TRUE(has_rule(validate(plan), "fault-socket-connect-params"));
+  // Connect faults bind to a concrete boundary: no -1 wildcard, and the
+  // stage must lie inside the pipeline.
+  FaultPlan out_of_range;
+  out_of_range.socket_connect_fails.push_back({7, 1});
+  EXPECT_TRUE(has_rule(validate(out_of_range, 4), "fault-device-range"));
+}
+
+TEST(FaultPlanValidateTest, SocketDelayParamsRule) {
+  FaultPlan plan;
+  plan.socket_delays.push_back({-1, 1, -0.5});  // negative delay
+  EXPECT_TRUE(has_rule(validate(plan), "fault-socket-delay-params"));
 }
 
 TEST(FaultPlanValidateTest, RenderNamesTheRule) {
@@ -445,10 +487,28 @@ TEST(RuntimeFaultTest, HangTriggersWatchdogWithBlockedTable) {
   } catch (const PipelineError& e) {
     EXPECT_TRUE(e.report().has_kind(fault::FaultEvent::Kind::Watchdog));
     EXPECT_TRUE(e.report().has_kind(fault::FaultEvent::Kind::Hang));
-    // The deadlock report names the hung stage.
+    // The deadlock report names the hung stage and carries the per-channel
+    // queue depth and last-received microbatch columns.
     EXPECT_NE(e.report().blocked_table.find("hung"), std::string::npos);
+    EXPECT_NE(e.report().blocked_table.find("queue"), std::string::npos);
+    EXPECT_NE(e.report().blocked_table.find("last mb"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("starved"), std::string::npos);
   }
+}
+
+TEST(RuntimeFaultTest, StarvationTimeoutEnvDefault) {
+  // SLIMPIPE_STARVATION_TIMEOUT_MS seeds RunOptions::starvation_timeout;
+  // garbage and non-positive values fall back to the built-in 30 s.
+  ASSERT_EQ(setenv("SLIMPIPE_STARVATION_TIMEOUT_MS", "1234", 1), 0);
+  EXPECT_EQ(default_starvation_timeout(), std::chrono::milliseconds(1234));
+  EXPECT_EQ(RunOptions{}.starvation_timeout,
+            std::chrono::milliseconds(1234));
+  ASSERT_EQ(setenv("SLIMPIPE_STARVATION_TIMEOUT_MS", "0", 1), 0);
+  EXPECT_EQ(default_starvation_timeout(), std::chrono::milliseconds(30000));
+  ASSERT_EQ(setenv("SLIMPIPE_STARVATION_TIMEOUT_MS", "nonsense", 1), 0);
+  EXPECT_EQ(default_starvation_timeout(), std::chrono::milliseconds(30000));
+  ASSERT_EQ(unsetenv("SLIMPIPE_STARVATION_TIMEOUT_MS"), 0);
+  EXPECT_EQ(default_starvation_timeout(), std::chrono::milliseconds(30000));
 }
 
 TEST(RuntimeFaultTest, InvalidPlanRejectedUpFront) {

@@ -9,10 +9,14 @@
 # the top-level CMakeLists) gets its own build tree under build-<name>/ and
 # runs the ctest label subsets most likely to surface that bug class:
 #
-#   address    faults, mem, ir     (lifetime/overflow in the fault machinery,
-#                                   arena tracking and the schedule IR)
-#   undefined  faults, mem, ir     (integer/shift UB in the same layers)
-#   thread     threads             (the threaded runtime tests)
+#   address    faults, mem, ir, dist  (lifetime/overflow in the fault
+#                                   machinery, arena tracking, the schedule
+#                                   IR and the multi-process socket runtime)
+#   undefined  faults, mem, ir, dist  (integer/shift UB in the same layers)
+#   thread     threads, dist       (the threaded runtime tests; the dist
+#                                   supervisor forks single-threaded workers
+#                                   from the pool-owning parent — exactly the
+#                                   fork/lock interaction TSan should watch)
 #
 # clang-tidy, when installed, runs over src/ir and src/analysis with the
 # plain tree's compile database; when absent the pass is skipped with a
@@ -46,9 +50,9 @@ if [[ "$FAST" -eq 0 ]]; then
     echo "== ${san} sanitizer build =="
     build_tree "build-${san}" -DSLIMPIPE_SANITIZE="${san}"
     if [[ "$san" == "thread" ]]; then
-      labels="threads"
+      labels="threads|dist"
     else
-      labels="faults|mem|ir"
+      labels="faults|mem|ir|dist"
     fi
     echo "== ${san} sanitizer tests (-L '${labels}') =="
     ctest --test-dir "build-${san}" --output-on-failure -j "$JOBS" \

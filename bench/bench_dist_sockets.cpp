@@ -172,6 +172,57 @@ int main(int argc, char** argv) {
   const Measured baseline =
       run_once(pipe, shape, tokens, targets, nullptr);
 
+  // ---- measured vs analytical exchange volume (fault-free run) ----
+  //
+  // The wire counters (WireChannelStats, folded into StageMetrics) measure
+  // what actually crossed each worker's sockets. The analytical prediction
+  // is bench_eq2_exchange_volume's counting argument mapped onto the frame
+  // format: every interior boundary carries m*n forward frames down and m*n
+  // backward frames up, each one tensor payload of slice_len x hidden fp32
+  // plus the 16-byte rows/cols header. On a fault-free run the two must
+  // agree EXACTLY — any drift means frames are being dropped, duplicated or
+  // miscounted.
+  {
+    const std::int64_t slice_len = shape.seq / shape.n_slices;
+    const double frame_payload =
+        16.0 +
+        static_cast<double>(slice_len * shape.dims.hidden) * 4.0;
+    Table wire({"stage", "frames out", "frames in", "bytes out", "bytes in",
+                "pred frames", "pred bytes", "crc rej", "retries", "match"});
+    bool wire_ok = true;
+    for (int s = 0; s < shape.stages; ++s) {
+      const obs::StageMetrics& sm =
+          baseline.result.stats.metrics.stages[static_cast<std::size_t>(s)];
+      const std::int64_t links =
+          (s > 0 ? 1 : 0) + (s + 1 < shape.stages ? 1 : 0);
+      const std::int64_t pred_frames =
+          links * static_cast<std::int64_t>(shape.microbatches) *
+          shape.n_slices;
+      const double pred_bytes =
+          static_cast<double>(pred_frames) * frame_payload;
+      const bool ok = sm.frames_sent == pred_frames &&
+                      sm.frames_recv == pred_frames &&
+                      sm.p2p_bytes == pred_bytes &&
+                      sm.bytes_recv == pred_bytes && sm.crc_rejects == 0 &&
+                      sm.send_retries == 0;
+      wire_ok = wire_ok && ok;
+      wire.add_row({fmt(static_cast<std::int64_t>(s)),
+                    fmt(sm.frames_sent), fmt(sm.frames_recv),
+                    format_bytes(sm.p2p_bytes), format_bytes(sm.bytes_recv),
+                    fmt(pred_frames), format_bytes(pred_bytes),
+                    fmt(sm.crc_rejects), fmt(sm.send_retries),
+                    ok ? "exact" : "MISMATCH"});
+    }
+    slimbench::print_table(
+        "measured vs analytical exchange volume (fault-free)", wire);
+    if (!wire_ok) {
+      std::fprintf(stderr,
+                   "FATAL: measured wire volume does not reconcile with the "
+                   "analytical prediction\n");
+      return 1;
+    }
+  }
+
   Table table({"scenario", "iteration", "comm s0", "injected", "replayed",
                "events", "grads", "slowdown"});
   double baseline_comm = 0.0;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <deque>
 #include <limits>
 #include <numeric>
 #include <string>
@@ -15,6 +16,9 @@
 
 #include "src/dist/stage_worker.hpp"
 #include "src/dist/wire.hpp"
+#include "src/obs/clock.hpp"
+#include "src/obs/flight_recorder.hpp"
+#include "src/obs/telemetry.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/table.hpp"
 #include "src/util/thread_pool.hpp"
@@ -23,7 +27,8 @@ namespace slim::dist {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// Every supervisor timestamp is on the run's monotonic clock (obs/clock.hpp).
+using Clock = obs::MonoClock;
 
 /// Supervisor-side view of one worker process.
 struct WorkerHandle {
@@ -32,7 +37,15 @@ struct WorkerHandle {
   Fd control;  // parent end of the control socketpair
   WireStatus status;
   Clock::time_point last_heard;
+  Clock::time_point last_ping;
   double fork_offset = 0.0;  // recorder time at fork (trace re-basing)
+  /// Ping/pong offset estimator: maps this worker's event timestamps onto
+  /// the run clock. Until the first pong lands, fork_offset is the fallback.
+  obs::ClockAligner aligner;
+  /// Last-K flight-recorder events recovered from Telemetry flushes — the
+  /// postmortem breadcrumb trail of a worker that dies without a Done frame.
+  std::deque<obs::FlightEvent> flight;
+  std::uint64_t flight_dropped = 0;
   bool control_eof = false;
   bool done = false;  // Done frame received
   bool exited = false;
@@ -152,7 +165,17 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
     for (int s = 0; s < p; ++s) {
       rec->set_track_name(s, "stage " + std::to_string(s));
     }
+    rec->set_process_name(static_cast<std::int64_t>(::getpid()), "supervisor");
   }
+  // The run clock: the recorder's epoch when tracing, else this iteration's
+  // start. Pings carry it as t1 and pongs return to it as t4.
+  const Clock::time_point run_epoch = Clock::now();
+  auto run_now = [&]() -> double {
+    return rec != nullptr
+               ? rec->now()
+               : std::chrono::duration<double>(Clock::now() - run_epoch)
+                     .count();
+  };
 
   Result result;
   result.grads.embedding = num::Tensor(model_.vocab, model_.dims.hidden);
@@ -183,7 +206,33 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
   std::vector<std::vector<std::int64_t>> arena_peaks(
       static_cast<std::size_t>(p));
   std::vector<std::int64_t> arena_totals(static_cast<std::size_t>(p), 0);
+  std::vector<std::int64_t> frames_sent(static_cast<std::size_t>(p), 0);
+  std::vector<std::int64_t> frames_recv(static_cast<std::size_t>(p), 0);
+  std::vector<double> bytes_recv(static_cast<std::size_t>(p), 0.0);
+  std::vector<std::int64_t> crc_rejects(static_cast<std::size_t>(p), 0);
+  std::vector<std::int64_t> send_retries(static_cast<std::size_t>(p), 0);
+  std::vector<double> clock_offset(static_cast<std::size_t>(p), 0.0);
+  std::vector<double> clock_uncertainty(static_cast<std::size_t>(p), 0.0);
+  std::vector<std::int64_t> clock_samples(static_cast<std::size_t>(p), 0);
   double wall_seconds = 0.0;
+
+  // Live telemetry state: each attempt refreshes last_snapshot on the
+  // telemetry cadence; the iteration's tail writes the terminal phase.
+  const bool telemetry_on = !options.telemetry_json_path.empty() ||
+                            !options.telemetry_prom_path.empty();
+  obs::LiveSnapshot last_snapshot;
+  auto publish_snapshot = [&](const obs::LiveSnapshot& snap) {
+    if (!options.telemetry_json_path.empty()) {
+      obs::write_atomic(options.telemetry_json_path,
+                        obs::snapshot_to_json(snap).dump(2));
+    }
+    if (!options.telemetry_prom_path.empty()) {
+      obs::write_atomic(options.telemetry_prom_path,
+                        obs::prometheus_text(snap));
+    }
+  };
+  std::vector<int> respawns(static_cast<std::size_t>(p), 0);
+  int attempt_index = 0;
 
   // KillSpec arming: once overall, or on every attempt when persistent.
   int kills_left = options.kill.phase == KillSpec::Phase::None ||
@@ -279,6 +328,9 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
       cfg.starvation_timeout = options.starvation_timeout;
       cfg.measure_memory = options.measure_memory;
       cfg.trace = rec != nullptr;
+      cfg.attempt = attempt_index;
+      cfg.flight = options.flight;
+      cfg.flight_capacity = options.flight_capacity;
       cfg.faults = resolve_faults(plan, s, inject);
 
       // fork() while holding the kernel pool's lock: the child inherits
@@ -307,7 +359,15 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
       });
       w.pid = pid;
       w.last_heard = Clock::now();
+      // Backdated so the first supervision-loop pass pings immediately —
+      // clock alignment is useful from the first heartbeat on.
+      w.last_ping = Clock::now() - options.ping_interval;
       w.control = std::move(controls[static_cast<std::size_t>(s)].a);
+      if (rec != nullptr) {
+        rec->set_track_pid(s, static_cast<std::int64_t>(pid));
+        rec->set_process_name(static_cast<std::int64_t>(pid),
+                              "stage " + std::to_string(s) + " worker");
+      }
 
       if (kill_armed && kill.phase == KillSpec::Phase::PreForward &&
           kill.stage == s) {
@@ -358,7 +418,20 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
                                   : std::to_string(w.status.last_mb),
              std::to_string(w.status.committed) + "/" + std::to_string(mk)});
       }
-      return table.to_string();
+      std::string out = table.to_string();
+      // Breadcrumbs of every worker that did not finish cleanly: the last-K
+      // flight-recorder events recovered from its Telemetry flushes show
+      // what the stage was doing when it died/hung, not just that it did.
+      for (const WorkerHandle& w : workers) {
+        if (w.done || w.flight.empty()) continue;
+        out += "\nstage " + std::to_string(w.stage) +
+               " flight recorder tail (last " +
+               std::to_string(w.flight.size()) + " recovered events, " +
+               std::to_string(w.flight_dropped) + " dropped before flush):\n";
+        out += obs::render_flight_tail(
+            std::vector<obs::FlightEvent>(w.flight.begin(), w.flight.end()));
+      }
+      return out;
     };
 
     // Reads every frame a worker's control socket has ready.
@@ -407,6 +480,32 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
           }
           case FrameKind::Event:
             break;  // reserved; events currently ride in Done/Error frames
+          case FrameKind::Telemetry: {
+            // Flight-recorder flush: keep the last flight_tail events as the
+            // worker's recoverable breadcrumb trail.
+            Reader r(frame.payload);
+            WireFlightFlush flush = read_flight_flush(r);
+            w.flight_dropped += flush.dropped;
+            const std::size_t keep =
+                static_cast<std::size_t>(std::max(1, options.flight_tail));
+            for (const obs::FlightEvent& event : flush.events) {
+              w.flight.push_back(event);
+              if (w.flight.size() > keep) w.flight.pop_front();
+            }
+            break;
+          }
+          case FrameKind::Pong: {
+            // NTP 4-timestamp clock sample: t1 (ours, echoed), t2/t3
+            // (worker clock), t4 = now on the run clock.
+            Reader r(frame.payload);
+            obs::ClockSample sample;
+            sample.t1 = r.f64();
+            sample.t2 = r.f64();
+            sample.t3 = r.f64();
+            sample.t4 = run_now();
+            w.aligner.add(sample);
+            break;
+          }
           case FrameKind::Error: {
             Reader r(frame.payload);
             w.status = read_status(r);
@@ -433,7 +532,63 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
       }
     };
 
+    // Folds the workers' latest heartbeat counters into a LiveSnapshot for
+    // the JSON/Prometheus publishers (and the final done/failed write).
+    auto build_snapshot = [&](const std::string& phase) {
+      obs::LiveSnapshot snap;
+      snap.ts = run_now();
+      snap.phase = phase;
+      snap.attempt = attempt_index;
+      snap.microbatches = m;
+      for (const bool merged_one : merged) {
+        snap.merged_microbatches += merged_one ? 1 : 0;
+      }
+      const auto now = Clock::now();
+      for (const WorkerHandle& w : workers) {
+        obs::StageLive live;
+        live.stage = w.stage;
+        live.pid = static_cast<std::int64_t>(w.pid);
+        live.state =
+            w.exited && !w.done
+                ? describe_exit(w)
+                : worker_state_name(static_cast<WorkerState>(w.status.state));
+        live.beat_age_seconds =
+            std::chrono::duration<double>(now - w.last_heard).count();
+        live.messages = w.status.messages;
+        live.done_f = w.status.done_f;
+        live.want_f = mk * n_slices;
+        live.done_b = w.status.done_b;
+        live.want_b = mk * n_slices;
+        live.live = w.status.live;
+        live.live_cap = n_slices + 2 * (p - 1 - w.stage);
+        live.queue = w.status.queue;
+        live.deferred = w.status.deferred;
+        live.committed = w.status.committed;
+        live.committed_total = mk;
+        live.frames_out = w.status.prev.frames_out + w.status.next.frames_out;
+        live.frames_in = w.status.prev.frames_in + w.status.next.frames_in;
+        live.bytes_out = static_cast<double>(w.status.prev.bytes_out +
+                                             w.status.next.bytes_out);
+        live.bytes_in = static_cast<double>(w.status.prev.bytes_in +
+                                            w.status.next.bytes_in);
+        live.crc_rejects =
+            w.status.prev.crc_rejects + w.status.next.crc_rejects;
+        live.retries = w.status.prev.retries + w.status.next.retries;
+        live.arena_peak_bytes = static_cast<double>(
+            arena_totals[static_cast<std::size_t>(w.stage)]);
+        if (w.aligner.aligned()) {
+          live.clock_offset_seconds = w.aligner.offset();
+          live.clock_uncertainty_seconds = w.aligner.uncertainty();
+        }
+        live.flight_events = w.status.flight_recorded;
+        live.respawns = respawns[static_cast<std::size_t>(w.stage)];
+        snap.stages.push_back(live);
+      }
+      return snap;
+    };
+
     // ---- supervision loop: heartbeats, commits, reaping, deadlines ----
+    Clock::time_point next_telemetry = Clock::now();
     for (;;) {
       bool all_exited = true;
       for (const WorkerHandle& w : workers) all_exited &= w.exited;
@@ -446,6 +601,30 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
       }
       poll_readable_many(fds, 10);
       for (WorkerHandle& w : workers) read_worker(w);
+
+      // Clock-alignment pings. A dead peer just makes send_frame fail
+      // (MSG_NOSIGNAL) — its EOF is picked up by the read path.
+      for (WorkerHandle& w : workers) {
+        if (w.exited || w.done || w.control_eof || !w.control.valid()) {
+          continue;
+        }
+        if (Clock::now() - w.last_ping < options.ping_interval) continue;
+        Frame ping;
+        ping.kind = FrameKind::Ping;
+        ping.stage = w.stage;
+        Writer writer;
+        writer.f64(run_now());
+        ping.payload = writer.take();
+        send_frame(w.control.get(), ping);
+        w.last_ping = Clock::now();
+      }
+
+      if (telemetry_on && Clock::now() >= next_telemetry) {
+        last_snapshot =
+            build_snapshot(outcome.failed ? "draining" : "running");
+        publish_snapshot(last_snapshot);
+        next_telemetry = Clock::now() + options.telemetry_interval;
+      }
 
       for (WorkerHandle& w : workers) {
         if (w.exited || w.pid <= 0) continue;
@@ -530,6 +709,9 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
     }
     for (WorkerHandle& w : workers) read_worker(w);
     if (outcome.failed) outcome.table = postmortem();
+    if (telemetry_on) {
+      last_snapshot = build_snapshot(outcome.failed ? "draining" : "running");
+    }
 
     wall_seconds +=
         std::chrono::duration<double>(Clock::now() - attempt_start).count();
@@ -539,6 +721,20 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
       const std::size_t s = static_cast<std::size_t>(w.stage);
       result.stats.messages[s] += w.status.messages;
       iteration_report.injected_seconds += w.status.injected_delay_seconds;
+      // Wire counters come from the last status snapshot (the Done frame's
+      // when the worker finished, the final heartbeat's when it died), so a
+      // crashed attempt's traffic still counts.
+      frames_sent[s] += w.status.prev.frames_out + w.status.next.frames_out;
+      frames_recv[s] += w.status.prev.frames_in + w.status.next.frames_in;
+      bytes_recv[s] += static_cast<double>(w.status.prev.bytes_in +
+                                           w.status.next.bytes_in);
+      crc_rejects[s] += w.status.prev.crc_rejects + w.status.next.crc_rejects;
+      send_retries[s] += w.status.prev.retries + w.status.next.retries;
+      if (w.aligner.aligned()) {
+        clock_offset[s] = w.aligner.offset();
+        clock_uncertainty[s] = w.aligner.uncertainty();
+      }
+      clock_samples[s] += static_cast<std::int64_t>(w.aligner.samples());
       if (!w.have_done) continue;
       const WireStageDone& info = w.done_info;
       busy[s] += info.busy_seconds;
@@ -561,15 +757,32 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
         iteration_report.events.push_back(event);
       }
       if (rec != nullptr) {
-        // Re-base worker-local trace records by the fork-time offset so
-        // the merged trace shows all stages on the supervisor's clock.
+        // Re-base worker-local trace records onto the run clock: the
+        // ping/pong offset estimate when available (error bound rtt/2),
+        // else the cruder fork-time offset.
+        auto to_run_clock = [&w](double worker_ts) {
+          const double run_ts = w.aligner.aligned()
+                                    ? w.aligner.to_local(worker_ts)
+                                    : w.fork_offset + worker_ts;
+          // The estimate's error is bounded by rtt/2, which on a loaded box
+          // can push a worker's earliest events before its fork — clamp to
+          // the one provable lower bound (every worker event postdates the
+          // fork the supervisor timed itself).
+          return std::max(run_ts, w.fork_offset);
+        };
         for (const WireSpan& span : info.spans) {
           rec->span(w.stage, span.name, span.category,
-                    w.fork_offset + span.start, w.fork_offset + span.end,
-                    span.mb, span.slice, span.stage);
+                    to_run_clock(span.start), to_run_clock(span.end), span.mb,
+                    span.slice, span.stage);
         }
         for (const WireInstant& inst : info.instants) {
           rec->instant(w.stage, inst.name, inst.category, inst.detail);
+        }
+        // Cross-process flow arrows: sender and receiver derived the same
+        // wire_flow_id independently, so the two endpoints pair up here.
+        for (const WireFlow& flow : info.flows) {
+          rec->flow_point(flow.id, w.stage, to_run_clock(flow.ts),
+                          flow.begin != 0, flow.backward != 0 ? "bwd" : "fwd");
         }
       }
     }
@@ -581,13 +794,13 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
   std::iota(all_mbs.begin(), all_mbs.end(), 0);
   const bool inject = plan != nullptr && !plan->empty();
 
-  std::vector<int> respawns(static_cast<std::size_t>(p), 0);
   std::vector<int> attempt_mbs = all_mbs;
   bool first_attempt = true;
 
   for (;;) {
     const AttemptOutcome outcome = run_attempt(attempt_mbs, first_attempt && inject);
     first_attempt = false;
+    ++attempt_index;
 
     // Merge every microbatch that newly retired on all stages, ascending —
     // the same deterministic order as the threaded backend.
@@ -604,6 +817,11 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
       fault::FaultReport report = iteration_report;
       report.blocked_table = outcome.table;
       if (options.report != nullptr) *options.report = report;
+      if (telemetry_on) {
+        last_snapshot.phase = "failed";
+        last_snapshot.ts = run_now();
+        publish_snapshot(last_snapshot);
+      }
       throw rt::PipelineError("pipeline stage " +
                                   std::to_string(outcome.culprit) + " failed: " +
                                   outcome.detail + reason +
@@ -655,6 +873,17 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
       head_shard_grad[static_cast<std::size_t>(model_.head_stage())]);
   result.loss = total_loss / static_cast<double>(m);
 
+  if (telemetry_on) {
+    // Recount merges: the last in-attempt snapshot predates the final merge.
+    last_snapshot.phase = "done";
+    last_snapshot.ts = run_now();
+    last_snapshot.merged_microbatches = 0;
+    for (const bool merged_one : merged) {
+      last_snapshot.merged_microbatches += merged_one ? 1 : 0;
+    }
+    publish_snapshot(last_snapshot);
+  }
+
   result.stats.metrics.substrate = "dist";
   result.stats.metrics.scheme = "slimpipe";
   result.stats.metrics.makespan = wall_seconds;
@@ -671,6 +900,14 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
     stage_metrics.peak_live_slices = result.stats.peak_live_slices[i];
     stage_metrics.p2p_messages = p2p_msgs[i];
     stage_metrics.p2p_bytes = p2p_bytes[i];
+    stage_metrics.frames_sent = frames_sent[i];
+    stage_metrics.frames_recv = frames_recv[i];
+    stage_metrics.bytes_recv = bytes_recv[i];
+    stage_metrics.crc_rejects = crc_rejects[i];
+    stage_metrics.send_retries = send_retries[i];
+    stage_metrics.clock_offset_seconds = clock_offset[i];
+    stage_metrics.clock_uncertainty_seconds = clock_uncertainty[i];
+    stage_metrics.clock_samples = clock_samples[i];
     stage_metrics.peak_queue_depth = peak_queue[i];
     for (const std::int64_t peak : arena_peaks[i]) {
       stage_metrics.measured_peak_bytes.push_back(static_cast<double>(peak));

@@ -28,6 +28,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/fault/fault_plan.hpp"
@@ -96,6 +97,25 @@ struct ProcessOptions {
   bool measure_memory = true;
   /// Crash-torture hook (see KillSpec).
   KillSpec kill;
+  /// Worker flight recorder (obs/flight_recorder.hpp): breadcrumb ring
+  /// flushed over the control socket; the last flight_tail recovered events
+  /// of a dead worker are appended to the postmortem. Off only for overhead
+  /// measurement (bench_obs_overhead).
+  bool flight = true;
+  int flight_capacity = 256;
+  int flight_tail = 32;
+  /// Clock-alignment ping cadence (supervisor -> worker round trips; an
+  /// NTP-style offset estimate re-bases worker trace times onto the run
+  /// clock — see obs/clock.hpp).
+  std::chrono::milliseconds ping_interval{50};
+  /// Live telemetry: when telemetry_json_path is set the supervisor writes
+  /// an atomic obs::LiveSnapshot JSON there every telemetry_interval (and a
+  /// Prometheus text exposition to telemetry_prom_path when that is set),
+  /// plus a final snapshot with phase "done"/"failed". slimpipe_top renders
+  /// the JSON file live.
+  std::string telemetry_json_path;
+  std::string telemetry_prom_path;
+  std::chrono::milliseconds telemetry_interval{200};
 };
 
 /// Tied-embedding transformer split across `stages` worker processes.

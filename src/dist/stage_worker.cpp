@@ -13,6 +13,8 @@
 #include "src/dist/wire.hpp"
 #include "src/numerics/cross_entropy.hpp"
 #include "src/numerics/norm_act.hpp"
+#include "src/obs/clock.hpp"
+#include "src/obs/flight_recorder.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/logging.hpp"
 
@@ -41,7 +43,7 @@ struct WorkerError : std::runtime_error {
 /// serialization sees one coherent snapshot.
 struct WorkerContext {
   const WorkerConfig* cfg = nullptr;
-  std::chrono::steady_clock::time_point start;
+  obs::MonoClock::time_point start;  // the worker's clock epoch
   WireStatus status;
   double busy_seconds = 0.0;
   double comm_seconds = 0.0;
@@ -53,16 +55,17 @@ struct WorkerContext {
   std::vector<fault::FaultEvent> events;
   std::vector<WireSpan> spans;
   std::vector<WireInstant> instants;
+  std::vector<WireFlow> flows;
+  obs::FlightRecorder flight;
   bool prev_dead = false;
   bool next_dead = false;
   bool control_dead = false;
-  std::chrono::steady_clock::time_point last_beat;
+  obs::MonoClock::time_point last_beat;
   std::int64_t data_sends = 0;  // SocketDrop / SocketDelay rule counter
   std::vector<int> drops_fired;  // per SocketDrop rule
 
   double now() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
+    return std::chrono::duration<double>(obs::MonoClock::now() - start)
         .count();
   }
 
@@ -87,7 +90,59 @@ struct WorkerContext {
     if (!send_frame(cfg->control_fd, frame)) control_dead = true;
   }
 
+  /// Appends one flight-recorder breadcrumb (no-op with flight disabled).
+  void record(obs::FlightKind kind, std::int32_t mb, std::int32_t slice,
+              std::int64_t value, std::string_view label) {
+    if (cfg->flight) flight.record(kind, now(), mb, slice, value, label);
+  }
+
+  /// Ships the unflushed flight-recorder suffix as one Telemetry frame.
+  /// Called on the heartbeat cadence and right before every Commit frame,
+  /// so by the time the supervisor sees a commit it already holds the
+  /// breadcrumbs leading up to it (same FIFO socket).
+  void flush_flight() {
+    if (!cfg->flight || control_dead) return;
+    obs::FlightRecorder::Flush flush = flight.flush();
+    if (flush.events.empty() && flush.dropped == 0) return;
+    Frame frame;
+    frame.kind = FrameKind::Telemetry;
+    frame.stage = cfg->stage;
+    Writer w;
+    write_flight_flush(w, {flush.dropped, std::move(flush.events)});
+    frame.payload = w.take();
+    send_control(frame);
+  }
+
+  /// Answers any supervisor->worker control traffic waiting on the socket.
+  /// Today that is only clock-alignment Pings: reply immediately so the
+  /// round trip stays tight (theta's error bound is rtt/2).
+  void drain_control() {
+    if (control_dead || cfg->control_fd < 0) return;
+    while (poll_readable(cfg->control_fd, 0)) {
+      Frame frame;
+      const IoStatus io = recv_frame(cfg->control_fd, &frame);
+      if (io == IoStatus::Eof) {
+        control_dead = true;
+        return;
+      }
+      if (io != IoStatus::Ok || frame.kind != FrameKind::Ping) continue;
+      Reader reader(frame.payload);
+      const double t1 = reader.f64();
+      const double t2 = now();
+      Frame pong;
+      pong.kind = FrameKind::Pong;
+      pong.stage = cfg->stage;
+      Writer w;
+      w.f64(t1);
+      w.f64(t2);
+      w.f64(now());  // t3
+      pong.payload = w.take();
+      send_control(pong);
+    }
+  }
+
   void heartbeat_now() {
+    status.flight_recorded = static_cast<std::int64_t>(flight.recorded());
     Frame beat;
     beat.kind = FrameKind::Heartbeat;
     beat.stage = cfg->stage;
@@ -95,12 +150,13 @@ struct WorkerContext {
     write_status(w, status);
     beat.payload = w.take();
     send_control(beat);
-    last_beat = std::chrono::steady_clock::now();
+    flush_flight();
+    last_beat = obs::MonoClock::now();
   }
 
   void maybe_heartbeat() {
-    if (std::chrono::steady_clock::now() - last_beat >=
-        cfg->heartbeat_interval) {
+    drain_control();
+    if (obs::MonoClock::now() - last_beat >= cfg->heartbeat_interval) {
       heartbeat_now();
     }
   }
@@ -119,7 +175,11 @@ void park_forever(WorkerContext& ctx) {
   // Injected hang: the stage silently stops making progress. Heartbeats
   // stop with it — that is exactly the signal the supervisor's
   // missed-heartbeat deadline exists to catch. Parked until SIGKILLed.
+  // The breadcrumb escapes in a last flush so the postmortem tail ends at
+  // the hang, not just before it.
   ctx.status.state = static_cast<int>(WorkerState::Hung);
+  ctx.record(obs::FlightKind::Fault, -1, -1, ctx.status.messages, "hang");
+  ctx.flush_flight();
   for (;;) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
@@ -129,6 +189,8 @@ void park_forever(WorkerContext& ctx) {
 /// send, then writes it. Returns false when the peer is gone.
 bool send_data(WorkerContext& ctx, int fd, const Frame& frame) {
   const WorkerFaults& faults = ctx.cfg->faults;
+  WireChannelStats& link =
+      fd == ctx.cfg->next_fd ? ctx.status.next : ctx.status.prev;
   ++ctx.data_sends;
   const double send_start = ctx.now();
 
@@ -152,6 +214,8 @@ bool send_data(WorkerContext& ctx, int fd, const Frame& frame) {
     ctx.events.push_back({fault::FaultEvent::Kind::SocketDrop, ctx.cfg->stage,
                           ctx.now(), ctx.data_sends, detail});
     ctx.instant("socket drop", obs::kCatFault, detail);
+    link.retries += burst;
+    ctx.record(obs::FlightKind::Fault, frame.mb, frame.slice, burst, "drop");
     if (exhausted) {
       throw WorkerError("stage " + std::to_string(ctx.cfg->stage) + ": " +
                         detail);
@@ -184,7 +248,20 @@ bool send_data(WorkerContext& ctx, int fd, const Frame& frame) {
 
   ++ctx.p2p_messages;
   ctx.p2p_bytes += static_cast<double>(frame.payload.size());
+  const bool backward = frame.kind == FrameKind::Backward;
+  ctx.record(obs::FlightKind::Send, frame.mb, frame.slice,
+             static_cast<std::int64_t>(frame.payload.size()),
+             backward ? "bwd" : "fwd");
+  if (ctx.cfg->trace) {
+    // Send-side flow endpoint; the receiver derives the same id.
+    ctx.flows.push_back({wire_flow_id(ctx.cfg->attempt, backward,
+                                      ctx.cfg->stage, frame.mb, frame.slice),
+                         ctx.now(), /*begin=*/1,
+                         static_cast<std::uint8_t>(backward ? 1 : 0)});
+  }
   const bool ok = send_frame(fd, frame);
+  link.frames_out += 1;
+  link.bytes_out += static_cast<std::int64_t>(frame.payload.size());
   ctx.comm_seconds += ctx.now() - send_start;
   ctx.span(send_start,
            std::string("send ") + frame_kind_name(frame.kind) + " mb" +
@@ -271,11 +348,28 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
     for (int which = 0; which < 2; ++which) {
       const int fd = which == 0 ? cfg.prev_fd : cfg.next_fd;
       bool& dead = which == 0 ? ctx.prev_dead : ctx.next_dead;
+      WireChannelStats& link =
+          which == 0 ? ctx.status.prev : ctx.status.next;
       if (fd < 0 || dead) continue;
       while (poll_readable(fd, 0)) {
         Frame frame;
         const IoStatus io = recv_frame(fd, &frame);
         if (io == IoStatus::Ok) {
+          link.frames_in += 1;
+          link.bytes_in += static_cast<std::int64_t>(frame.payload.size());
+          const bool backward = frame.kind == FrameKind::Backward;
+          ctx.record(obs::FlightKind::Recv, frame.mb, frame.slice,
+                     static_cast<std::int64_t>(frame.payload.size()),
+                     backward ? "bwd" : "fwd");
+          if (cfg.trace) {
+            // Receive-side flow endpoint: same id the sender derived.
+            const int src = backward ? stage + 1 : stage - 1;
+            ctx.flows.push_back(
+                {wire_flow_id(cfg.attempt, backward, src, frame.mb,
+                              frame.slice),
+                 ctx.now(), /*begin=*/0,
+                 static_cast<std::uint8_t>(backward ? 1 : 0)});
+          }
           inbox.push_back({std::move(frame), false});
           continue;
         }
@@ -286,10 +380,13 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
         // supervisor owns the verdict.
         dead = true;
         if (io != IoStatus::Eof) {
+          link.crc_rejects += 1;
           const std::string detail =
               std::string("neighbor link ") + io_status_name(io) +
               " (peer died mid-frame); tail discarded";
           ctx.instant("link lost", obs::kCatFault, detail);
+          ctx.record(obs::FlightKind::Fault, frame.mb, frame.slice, 0,
+                     io_status_name(io));
         }
         break;
       }
@@ -336,7 +433,7 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
       deferred.pop_front();
       have = true;
     }
-    auto wait_start = std::chrono::steady_clock::now();
+    auto wait_start = obs::MonoClock::now();
     bool waiting = false;
     while (!have) {
       drain_sockets();
@@ -346,11 +443,11 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
         // arrives or the starvation watchdog fires.
         if (!waiting) {
           waiting = true;
-          wait_start = std::chrono::steady_clock::now();
+          wait_start = obs::MonoClock::now();
           ctx.status.state = static_cast<int>(WorkerState::Waiting);
         }
         ctx.maybe_heartbeat();
-        const auto waited = std::chrono::steady_clock::now() - wait_start;
+        const auto waited = obs::MonoClock::now() - wait_start;
         if (waited >= cfg.starvation_timeout) {
           ctx.status.state = static_cast<int>(WorkerState::Starved);
           const std::string detail =
@@ -367,7 +464,7 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
                             " ms (" + detail + ")");
         }
         const double recv_start = ctx.now();
-        const auto block_start = std::chrono::steady_clock::now();
+        const auto block_start = obs::MonoClock::now();
         std::vector<int> fds = {ctx.prev_dead ? -1 : cfg.prev_fd,
                                 ctx.next_dead ? -1 : cfg.next_fd};
         const int slice_ms = static_cast<int>(std::min<std::int64_t>(
@@ -375,7 +472,7 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
             std::max<std::int64_t>(1, cfg.starvation_timeout.count())));
         poll_readable_many(fds, slice_ms);
         ctx.blocked_recv_seconds +=
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+            std::chrono::duration<double>(obs::MonoClock::now() -
                                           block_start)
                 .count();
         ctx.span(recv_start, "recv", obs::kCatComm);
@@ -395,7 +492,11 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
         if (cfg.faults.crash_after > 0 &&
             messages == cfg.faults.crash_after) {
           // A real crash: the process dies instantly, mid-protocol. No
-          // frame, no cleanup — detection is the supervisor's problem.
+          // frame, no cleanup — detection is the supervisor's problem. The
+          // breadcrumb below never escapes (that's the point: only what was
+          // already flushed survives into the postmortem tail).
+          ctx.record(obs::FlightKind::Fault, item.frame.mb, item.frame.slice,
+                     messages, "crash");
           ::raise(SIGKILL);
         }
         if (cfg.faults.delay_every > 0 &&
@@ -428,10 +529,13 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
     }
 
     const double span_start = ctx.now();
-    const auto busy_start = std::chrono::steady_clock::now();
+    const auto busy_start = obs::MonoClock::now();
     const int rank = rank_of[static_cast<std::size_t>(msg.mb)];
     SLIM_CHECK(rank >= 0, "message for a microbatch outside the attempt");
     rt::StageCommit& mb_staged = staged[static_cast<std::size_t>(rank)];
+    const bool is_fwd_msg = msg.kind == FrameKind::Forward;
+    ctx.record(obs::FlightKind::SpanBegin, msg.mb, msg.slice, 0,
+               is_fwd_msg ? "fwd" : "bwd");
 
     switch (msg.kind) {
       case FrameKind::Forward: {
@@ -540,6 +644,13 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
           // supervisor's slot incomplete (replayed), never half-applied.
           mb_staged.complete = true;
           ++ctx.status.committed;
+          ctx.record(obs::FlightKind::Commit, msg.mb, -1,
+                     ctx.status.committed, "commit");
+          // Flush BEFORE the Commit frame: the control socket is FIFO, so
+          // whoever sees the commit already holds the breadcrumbs that led
+          // to it — the postmortem tail of a worker killed at mid-commit is
+          // deterministic, not heartbeat-cadence lottery.
+          ctx.flush_flight();
           Frame commit;
           commit.kind = FrameKind::Commit;
           commit.stage = stage;
@@ -567,9 +678,10 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
     }
 
     ctx.busy_seconds +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      busy_start)
+        std::chrono::duration<double>(obs::MonoClock::now() - busy_start)
             .count();
+    ctx.record(obs::FlightKind::SpanEnd, msg.mb, msg.slice, 0,
+               is_fwd_msg ? "fwd" : "bwd");
     ctx.span(span_start,
              std::string(msg.kind == FrameKind::Forward ? "fwd" : "bwd") +
                  " mb" + std::to_string(msg.mb) + " s" +
@@ -605,6 +717,9 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
   done.events = ctx.events;
   done.spans = ctx.spans;
   done.instants = ctx.instants;
+  done.flows = ctx.flows;
+  ctx.record(obs::FlightKind::Mark, -1, -1, ctx.status.committed, "done");
+  ctx.flush_flight();
   Frame frame;
   frame.kind = FrameKind::Done;
   frame.stage = stage;
@@ -620,20 +735,26 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
 int run_stage_worker(const WorkerConfig& config) {
   WorkerContext ctx;
   ctx.cfg = &config;
-  ctx.start = std::chrono::steady_clock::now();
+  ctx.start = obs::MonoClock::now();
   ctx.last_beat = ctx.start;
+  ctx.flight = obs::FlightRecorder(
+      static_cast<std::size_t>(std::max(1, config.flight_capacity)));
   ctx.drops_fired.assign(config.faults.drops.size(), 0);
   try {
     Frame hello;
     hello.kind = FrameKind::Hello;
     hello.stage = config.stage;
     ctx.send_control(hello);
+    ctx.record(obs::FlightKind::Mark, -1, -1, config.attempt, "start");
     return run_stage_worker_impl(config, ctx);
   } catch (const std::exception& error) {
     // Structured failure: everything the supervisor needs for the
     // postmortem — final status, message, fault events — in one Error
     // frame, then exit(2). Never an uncaught throw (this process must not
     // run the parent's terminate handler or atexit chain).
+    ctx.record(obs::FlightKind::Fault, -1, -1, ctx.status.messages,
+               "error");
+    ctx.flush_flight();
     Frame frame;
     frame.kind = FrameKind::Error;
     frame.stage = config.stage;

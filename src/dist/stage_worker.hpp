@@ -67,6 +67,9 @@ struct WorkerConfig {
   const rt::PipelineModel* model = nullptr;
   int stage = 0;
   int n_slices = 1;
+  /// Supervisor respawn attempt index; folded into cross-process flow-arrow
+  /// ids (wire_flow_id) so replayed sends never collide with originals.
+  int attempt = 0;
   /// Microbatches of this attempt (ascending); slice_weight still uses the
   /// full iteration's microbatch count, so replayed contributions match
   /// the fault-free ones bit for bit.
@@ -79,7 +82,12 @@ struct WorkerConfig {
   std::chrono::milliseconds heartbeat_interval{25};
   std::chrono::milliseconds starvation_timeout{30000};
   bool measure_memory = true;
-  bool trace = false;  // collect spans/instants into the Done frame
+  bool trace = false;  // collect spans/instants/flows into the Done frame
+  /// Flight recorder (obs/flight_recorder.hpp): always-on breadcrumb ring,
+  /// flushed to the supervisor as Telemetry frames on the heartbeat cadence
+  /// and before every Commit. Off only for overhead measurement.
+  bool flight = true;
+  int flight_capacity = 256;
   WorkerFaults faults;
 };
 

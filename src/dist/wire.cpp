@@ -50,6 +50,9 @@ const char* frame_kind_name(FrameKind kind) {
     case FrameKind::Event: return "event";
     case FrameKind::Error: return "error";
     case FrameKind::Done: return "done";
+    case FrameKind::Telemetry: return "telemetry";
+    case FrameKind::Ping: return "ping";
+    case FrameKind::Pong: return "pong";
   }
   return "?";
 }
@@ -216,6 +219,30 @@ num::Tensor Reader::tensor() {
 // ---------------------------------------------------------------------------
 // Structured payloads
 
+namespace {
+
+void write_channel_stats(Writer& w, const WireChannelStats& c) {
+  w.i64(c.frames_out);
+  w.i64(c.frames_in);
+  w.i64(c.bytes_out);
+  w.i64(c.bytes_in);
+  w.i64(c.crc_rejects);
+  w.i64(c.retries);
+}
+
+WireChannelStats read_channel_stats(Reader& r) {
+  WireChannelStats c;
+  c.frames_out = r.i64();
+  c.frames_in = r.i64();
+  c.bytes_out = r.i64();
+  c.bytes_in = r.i64();
+  c.crc_rejects = r.i64();
+  c.retries = r.i64();
+  return c;
+}
+
+}  // namespace
+
 void write_status(Writer& w, const WireStatus& status) {
   w.i64(status.messages);
   w.i32(status.done_f);
@@ -227,6 +254,9 @@ void write_status(Writer& w, const WireStatus& status) {
   w.i32(status.last_mb);
   w.i32(status.state);
   w.f64(status.injected_delay_seconds);
+  write_channel_stats(w, status.prev);
+  write_channel_stats(w, status.next);
+  w.i64(status.flight_recorded);
 }
 
 WireStatus read_status(Reader& r) {
@@ -241,6 +271,9 @@ WireStatus read_status(Reader& r) {
   status.last_mb = r.i32();
   status.state = r.i32();
   status.injected_delay_seconds = r.f64();
+  status.prev = read_channel_stats(r);
+  status.next = read_channel_stats(r);
+  status.flight_recorded = r.i64();
   return status;
 }
 
@@ -260,6 +293,53 @@ fault::FaultEvent read_event(Reader& r) {
   event.index = r.i64();
   event.detail = r.str();
   return event;
+}
+
+void write_flight_flush(Writer& w, const WireFlightFlush& flush) {
+  w.i64(static_cast<std::int64_t>(flush.dropped));
+  w.i32(static_cast<std::int32_t>(flush.events.size()));
+  for (const obs::FlightEvent& ev : flush.events) {
+    w.f64(ev.ts);
+    w.i64(static_cast<std::int64_t>(ev.seq));
+    w.u8(static_cast<std::uint8_t>(ev.kind));
+    w.i32(ev.mb);
+    w.i32(ev.slice);
+    w.i64(ev.value);
+    w.str(ev.label_str());
+  }
+}
+
+WireFlightFlush read_flight_flush(Reader& r) {
+  WireFlightFlush flush;
+  flush.dropped = static_cast<std::uint64_t>(r.i64());
+  const std::int32_t n = r.i32();
+  SLIM_CHECK(n >= 0, "telemetry frame with negative event count");
+  flush.events.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    obs::FlightEvent ev;
+    ev.ts = r.f64();
+    ev.seq = static_cast<std::uint64_t>(r.i64());
+    ev.kind = static_cast<obs::FlightKind>(r.u8());
+    ev.mb = r.i32();
+    ev.slice = r.i32();
+    ev.value = r.i64();
+    ev.set_label(r.str());
+    flush.events.push_back(ev);
+  }
+  return flush;
+}
+
+std::int64_t wire_flow_id(int attempt, bool backward, int src_stage, int mb,
+                          int slice) {
+  // Mixed-radix fold; the radices bound any run this repo can set up.
+  constexpr std::int64_t kStages = 64, kMb = 1 << 20, kSlices = 256;
+  constexpr std::int64_t kBase = std::int64_t{1} << 56;
+  std::int64_t id = attempt;
+  id = id * 2 + (backward ? 1 : 0);
+  id = id * kStages + src_stage;
+  id = id * kMb + mb;
+  id = id * kSlices + slice;
+  return kBase + id;
 }
 
 namespace {
@@ -349,6 +429,13 @@ void write_stage_done(Writer& w, const WireStageDone& done) {
     w.str(i.category);
     w.str(i.detail);
   }
+  w.i32(static_cast<std::int32_t>(done.flows.size()));
+  for (const WireFlow& f : done.flows) {
+    w.i64(f.id);
+    w.f64(f.ts);
+    w.u8(f.begin);
+    w.u8(f.backward);
+  }
 }
 
 WireStageDone read_stage_done(Reader& r) {
@@ -390,6 +477,15 @@ WireStageDone read_stage_done(Reader& r) {
     inst.category = r.str();
     inst.detail = r.str();
     done.instants.push_back(std::move(inst));
+  }
+  const std::int32_t n_flows = r.i32();
+  for (std::int32_t i = 0; i < n_flows; ++i) {
+    WireFlow f;
+    f.id = r.i64();
+    f.ts = r.f64();
+    f.begin = r.u8();
+    f.backward = r.u8();
+    done.flows.push_back(f);
   }
   return done;
 }

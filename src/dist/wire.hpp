@@ -27,6 +27,7 @@
 #include "src/dist/socket.hpp"
 #include "src/fault/fault_plan.hpp"
 #include "src/numerics/tensor.hpp"
+#include "src/obs/flight_recorder.hpp"
 #include "src/runtime/commit.hpp"
 
 namespace slim::dist {
@@ -40,6 +41,9 @@ enum class FrameKind : std::uint8_t {
   Event = 6,      // worker -> supervisor: fault events observed so far
   Error = 7,      // worker -> supervisor: structured failure, then exit(2)
   Done = 8,       // worker -> supervisor: all work finished + metrics
+  Telemetry = 9,  // worker -> supervisor: flight-recorder flush
+  Ping = 10,      // supervisor -> worker: clock probe (payload: f64 t1)
+  Pong = 11,      // worker -> supervisor: clock reply (f64 t1, t2, t3)
 };
 
 const char* frame_kind_name(FrameKind kind);
@@ -99,6 +103,17 @@ class Reader {
 // ---------------------------------------------------------------------------
 // Structured payloads shared by stage workers and the supervisor.
 
+/// Per-data-link transport counters (one per neighbor direction). Bytes are
+/// payload bytes (frame headers excluded), matching p2p_bytes elsewhere.
+struct WireChannelStats {
+  std::int64_t frames_out = 0;
+  std::int64_t frames_in = 0;
+  std::int64_t bytes_out = 0;
+  std::int64_t bytes_in = 0;
+  std::int64_t crc_rejects = 0;  // frames discarded by CRC/framing checks
+  std::int64_t retries = 0;      // retransmits after injected drops
+};
+
 /// Heartbeat payload: the per-stage progress snapshot — the multi-process
 /// analogue of the threaded runtime's StageStatus atomics, and the source
 /// of the supervisor's postmortem blocked-on table.
@@ -113,6 +128,9 @@ struct WireStatus {
   std::int32_t last_mb = -1;  // last received microbatch id
   std::int32_t state = 0;     // worker-local StageState as int
   double injected_delay_seconds = 0.0;
+  WireChannelStats prev;  // link toward stage-1 (empty on stage 0)
+  WireChannelStats next;  // link toward stage+1 (empty on the last stage)
+  std::int64_t flight_recorded = 0;  // flight-recorder events so far
 };
 
 void write_status(Writer& w, const WireStatus& status);
@@ -120,6 +138,32 @@ WireStatus read_status(Reader& r);
 
 void write_event(Writer& w, const fault::FaultEvent& event);
 fault::FaultEvent read_event(Reader& r);
+
+/// Telemetry payload: one flight-recorder flush (see obs/flight_recorder.hpp).
+/// `dropped` counts ring-overwritten events lost between flushes.
+struct WireFlightFlush {
+  std::uint64_t dropped = 0;
+  std::vector<obs::FlightEvent> events;
+};
+
+void write_flight_flush(Writer& w, const WireFlightFlush& flush);
+WireFlightFlush read_flight_flush(Reader& r);
+
+/// Deterministic cross-process flow-arrow id: the sender of a data frame and
+/// its receiver derive the same id from (attempt, direction, sending stage,
+/// microbatch, slice) without coordinating, so the supervisor can pair the
+/// two endpoints into one Chrome-trace arrow. Ids start at a high base so
+/// they never collide with Recorder::begin_flow's 0-based counter.
+std::int64_t wire_flow_id(int attempt, bool backward, int src_stage, int mb,
+                          int slice);
+
+/// One flow-arrow endpoint recorded by a worker (times on the worker clock).
+struct WireFlow {
+  std::int64_t id = -1;
+  double ts = 0.0;
+  std::uint8_t begin = 1;     // 1 = send side, 0 = receive side
+  std::uint8_t backward = 0;  // direction, for the arrow label
+};
 
 /// Commit payload: one retired (stage, microbatch) StageCommit.
 void write_commit(Writer& w, const rt::StageCommit& commit);
@@ -161,6 +205,7 @@ struct WireStageDone {
   std::vector<fault::FaultEvent> events;
   std::vector<WireSpan> spans;
   std::vector<WireInstant> instants;
+  std::vector<WireFlow> flows;
 };
 
 void write_stage_done(Writer& w, const WireStageDone& done);

@@ -196,6 +196,21 @@ JsonValue run_metrics_to_json(const RunMetrics& metrics) {
               JsonValue::make_number(s.peak_queue_depth));
     stage.set("peak_memory_bytes",
               JsonValue::make_number(s.peak_memory_bytes));
+    stage.set("frames_sent",
+              JsonValue::make_number(static_cast<double>(s.frames_sent)));
+    stage.set("frames_recv",
+              JsonValue::make_number(static_cast<double>(s.frames_recv)));
+    stage.set("bytes_recv", JsonValue::make_number(s.bytes_recv));
+    stage.set("crc_rejects",
+              JsonValue::make_number(static_cast<double>(s.crc_rejects)));
+    stage.set("send_retries",
+              JsonValue::make_number(static_cast<double>(s.send_retries)));
+    stage.set("clock_offset_seconds",
+              JsonValue::make_number(s.clock_offset_seconds));
+    stage.set("clock_uncertainty_seconds",
+              JsonValue::make_number(s.clock_uncertainty_seconds));
+    stage.set("clock_samples",
+              JsonValue::make_number(static_cast<double>(s.clock_samples)));
     if (!s.measured_peak_bytes.empty()) {
       JsonValue measured = JsonValue::make_array();
       for (const double b : s.measured_peak_bytes) {
@@ -237,6 +252,20 @@ bool run_metrics_from_json(const JsonValue& value, RunMetrics* out) {
       s.peak_queue_depth =
           static_cast<int>(item.number_or("peak_queue_depth", 0.0));
       s.peak_memory_bytes = item.number_or("peak_memory_bytes", 0.0);
+      s.frames_sent =
+          static_cast<std::int64_t>(item.number_or("frames_sent", 0.0));
+      s.frames_recv =
+          static_cast<std::int64_t>(item.number_or("frames_recv", 0.0));
+      s.bytes_recv = item.number_or("bytes_recv", 0.0);
+      s.crc_rejects =
+          static_cast<std::int64_t>(item.number_or("crc_rejects", 0.0));
+      s.send_retries =
+          static_cast<std::int64_t>(item.number_or("send_retries", 0.0));
+      s.clock_offset_seconds = item.number_or("clock_offset_seconds", 0.0);
+      s.clock_uncertainty_seconds =
+          item.number_or("clock_uncertainty_seconds", 0.0);
+      s.clock_samples =
+          static_cast<std::int64_t>(item.number_or("clock_samples", 0.0));
       const JsonValue* measured = item.find("measured_peak_bytes");
       if (measured != nullptr && measured->is_array()) {
         for (const JsonValue& b : measured->array()) {

@@ -38,6 +38,23 @@ struct StageMetrics {
   int peak_queue_depth = 0;           // runtime: inbox high-water mark
   double peak_memory_bytes = 0.0;     // memory high-water (sim replay)
 
+  // Transport-level counters (filled by both runtime backends so the two
+  // substrates stay comparable: wire frames over sockets for src/dist,
+  // channel messages for the threaded runtime; zero in the simulator).
+  std::int64_t frames_sent = 0;
+  std::int64_t frames_recv = 0;
+  double bytes_recv = 0.0;            // payload volume received
+  std::int64_t crc_rejects = 0;       // corrupt frames discarded (dist only)
+  std::int64_t send_retries = 0;      // injected-drop retransmits (dist only)
+
+  // Cross-process clock alignment (dist only; see obs/clock.hpp). Offset is
+  // the worker-clock minus run-clock estimate of the minimum-rtt ping/pong
+  // sample; uncertainty is that sample's rtt/2; samples counts accepted
+  // round trips.
+  double clock_offset_seconds = 0.0;
+  double clock_uncertainty_seconds = 0.0;
+  std::int64_t clock_samples = 0;
+
   // Runtime-measured arena high-water marks, one slot per mem::Category
   // (empty when arenas were not enabled). measured_peak_total is the true
   // concurrent high-water across all of the stage's arenas, not the sum of

@@ -25,17 +25,25 @@ bool is_transfer_class(sim::OpClass cls) {
 
 }  // namespace
 
-Recorder::Recorder() : epoch_(std::chrono::steady_clock::now()) {}
+Recorder::Recorder() : epoch_(MonoClock::now()) {}
 
 double Recorder::now() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       epoch_)
-      .count();
+  return std::chrono::duration<double>(MonoClock::now() - epoch_).count();
 }
 
 void Recorder::set_track_name(int track, std::string name) {
   std::lock_guard<std::mutex> lock(mutex_);
   trace_.track_names[track] = std::move(name);
+}
+
+void Recorder::set_track_pid(int track, std::int64_t pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_.track_pids[track] = pid;
+}
+
+void Recorder::set_process_name(std::int64_t pid, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_.process_names[pid] = std::move(name);
 }
 
 void Recorder::span(int track, std::string name, std::string cat, double start,
@@ -71,6 +79,12 @@ std::int64_t Recorder::begin_flow(int track, std::string name) {
 void Recorder::end_flow(std::int64_t id, int track, double ts) {
   std::lock_guard<std::mutex> lock(mutex_);
   trace_.flows.push_back({id, track, ts, /*begin=*/false, {}});
+}
+
+void Recorder::flow_point(std::int64_t id, int track, double ts, bool begin,
+                          std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_.flows.push_back({id, track, ts, begin, std::move(name)});
 }
 
 Trace Recorder::take() {
@@ -174,9 +188,15 @@ std::string chrome_trace_json(const Trace& trace) {
     out << "\n";
   };
 
+  for (const auto& [pid, name] : trace.process_names) {
+    sep();
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"name\":" << json_quote(name) << "}}";
+  }
   for (const auto& [track, name] : trace.track_names) {
     sep();
-    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << track
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+        << trace.pid_of(track) << ",\"tid\":" << track
         << ",\"args\":{\"name\":" << json_quote(name) << "}}";
   }
   for (const TraceSpan& span : trace.spans) {
@@ -185,7 +205,7 @@ std::string chrome_trace_json(const Trace& trace) {
         << ",\"cat\":" << json_quote(span.cat) << ",\"ph\":\"X\",\"ts\":"
         << json_number(span.start * 1e6)
         << ",\"dur\":" << json_number((span.end - span.start) * 1e6)
-        << ",\"pid\":0,\"tid\":" << span.track;
+        << ",\"pid\":" << trace.pid_of(span.track) << ",\"tid\":" << span.track;
     if (span.microbatch >= 0 || span.slice >= 0 || span.stage >= 0) {
       out << ",\"args\":{\"mb\":" << span.microbatch
           << ",\"slice\":" << span.slice << ",\"stage\":" << span.stage << "}";
@@ -197,7 +217,8 @@ std::string chrome_trace_json(const Trace& trace) {
     out << "{\"name\":" << json_quote(instant.name)
         << ",\"cat\":" << json_quote(instant.cat)
         << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << json_number(instant.ts * 1e6)
-        << ",\"pid\":0,\"tid\":" << instant.track;
+        << ",\"pid\":" << trace.pid_of(instant.track)
+        << ",\"tid\":" << instant.track;
     if (!instant.detail.empty()) {
       out << ",\"args\":{\"detail\":" << json_quote(instant.detail) << "}";
     }
@@ -207,7 +228,8 @@ std::string chrome_trace_json(const Trace& trace) {
     sep();
     out << "{\"name\":" << json_quote(counter.name)
         << ",\"ph\":\"C\",\"ts\":" << json_number(counter.ts * 1e6)
-        << ",\"pid\":0,\"tid\":" << counter.track << ",\"args\":{\"value\":"
+        << ",\"pid\":" << trace.pid_of(counter.track)
+        << ",\"tid\":" << counter.track << ",\"args\":{\"value\":"
         << json_number(counter.value) << "}}";
   }
   for (const TraceFlowPoint& flow : trace.flows) {
@@ -216,7 +238,8 @@ std::string chrome_trace_json(const Trace& trace) {
         << ",\"cat\":\"flow\",\"ph\":\"" << (flow.begin ? 's' : 'f') << "\"";
     if (!flow.begin) out << ",\"bp\":\"e\"";
     out << ",\"id\":" << flow.id << ",\"ts\":" << json_number(flow.ts * 1e6)
-        << ",\"pid\":0,\"tid\":" << flow.track << "}";
+        << ",\"pid\":" << trace.pid_of(flow.track)
+        << ",\"tid\":" << flow.track << "}";
   }
   out << "\n]\n";
   return out.str();

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/fault/fault_plan.hpp"
+#include "src/obs/clock.hpp"
 #include "src/sim/executor.hpp"
 #include "src/sim/graph.hpp"
 
@@ -77,10 +78,22 @@ struct TraceFlowPoint {
 
 struct Trace {
   std::map<int, std::string> track_names;
+  // Multi-process runs map each track to the OS process that produced it so
+  // the Chrome exporter renders real per-process groups (Perfetto collapses
+  // everything sharing a pid into one process lane). Tracks without an entry
+  // default to pid 0 — the recording (supervisor) process.
+  std::map<int, std::int64_t> track_pids;
+  std::map<std::int64_t, std::string> process_names;
   std::vector<TraceSpan> spans;
   std::vector<TraceInstant> instants;
   std::vector<TraceCounter> counters;
   std::vector<TraceFlowPoint> flows;
+
+  /// Chrome pid for a track (0 unless set_track_pid said otherwise).
+  std::int64_t pid_of(int track) const {
+    auto it = track_pids.find(track);
+    return it == track_pids.end() ? 0 : it->second;
+  }
 
   bool empty() const {
     return spans.empty() && instants.empty() && counters.empty() &&
@@ -90,8 +103,10 @@ struct Trace {
 
 /// Thread-safe event recorder for the threaded runtime. All mutations take
 /// one mutex; callers gate every call on a plain pointer check so a disabled
-/// trace costs nothing. Timestamps are seconds since construction
-/// (steady clock), matching the simulator's zero-based timeline.
+/// trace costs nothing. Timestamps are seconds since construction on the
+/// MonoClock (see obs/clock.hpp — this epoch is THE run epoch; worker-process
+/// timestamps are re-based onto it via ClockAligner), matching the
+/// simulator's zero-based timeline.
 class Recorder {
  public:
   Recorder();
@@ -100,6 +115,8 @@ class Recorder {
   double now() const;
 
   void set_track_name(int track, std::string name);
+  void set_track_pid(int track, std::int64_t pid);
+  void set_process_name(std::int64_t pid, std::string name);
   void span(int track, std::string name, std::string cat, double start,
             double end, std::int32_t microbatch = -1, std::int32_t slice = -1,
             std::int32_t stage = -1);
@@ -112,6 +129,13 @@ class Recorder {
   std::int64_t begin_flow(int track, std::string name);
   void end_flow(std::int64_t id, int track, double ts);
 
+  /// Adds a flow endpoint with a caller-chosen id and timestamp. Used by the
+  /// multi-process supervisor, where both endpoints derive the same id
+  /// deterministically (dist::wire_flow_id) without coordinating — explicit
+  /// ids start at a high base so they never collide with begin_flow's.
+  void flow_point(std::int64_t id, int track, double ts, bool begin,
+                  std::string name);
+
   /// Moves the accumulated trace out (the recorder keeps running).
   Trace take();
 
@@ -122,7 +146,7 @@ class Recorder {
   mutable std::mutex mutex_;
   Trace trace_;
   std::atomic<std::int64_t> next_flow_{0};
-  std::chrono::steady_clock::time_point epoch_;
+  MonoClock::time_point epoch_;
 };
 
 /// Converts an executed simulator graph into a Trace: compute ops become
@@ -140,7 +164,10 @@ void append_fault_events(Trace& trace,
 
 /// Chrome trace event JSON ("catapult" format). Every string goes through
 /// json_escape; spans emit "X" events with mb/slice/stage args, instants
-/// "i", counters "C", flows "s"/"f" and track names thread_name metadata.
+/// "i", counters "C", flows "s"/"f", track names thread_name metadata and
+/// process names process_name metadata. Every event carries the pid of the
+/// process that produced its track (Trace::pid_of), so multi-process runs
+/// render as separate process groups in Perfetto.
 std::string chrome_trace_json(const Trace& trace);
 
 /// Convenience: trace_from_sim + chrome_trace_json (the successor of the

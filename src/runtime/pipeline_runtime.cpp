@@ -38,6 +38,11 @@ struct Message {
   /// exported trace draws a send->recv arrow. -1 when tracing is off or
   /// the message is stage-local.
   std::int64_t flow = -1;
+  /// Set by send_to for cross-thread sends, so the receiver can count the
+  /// message in its frames_recv/bytes_recv probe without counting
+  /// stage-local loopback (keeps the counters comparable with the dist
+  /// substrate's per-link wire stats).
+  bool cross = false;
 };
 
 const char* message_kind_name(Message::Kind kind) {
@@ -61,6 +66,8 @@ struct StageProbe {
   double blocked_recv_seconds = 0.0; // waiting inside receive
   std::int64_t p2p_messages = 0;     // cross-thread sends from this stage
   double p2p_bytes = 0.0;            // payload volume of those sends
+  std::int64_t frames_recv = 0;      // cross-thread receives by this stage
+  double bytes_recv = 0.0;           // payload volume of those receives
   std::size_t peak_queue = 0;        // inbox high-water mark
 };
 
@@ -321,6 +328,7 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
         if (dst != stage) {
           ++probe.p2p_messages;
           probe.p2p_bytes += static_cast<double>(out.payload.size()) * 4.0;
+          out.cross = true;
           if (rec != nullptr) {
             out.flow = rec->begin_flow(stage, message_kind_name(out.kind));
           }
@@ -487,6 +495,11 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
           ++messages;
           status.messages.store(messages);
           status.last_mb.store(received.mb);
+          if (received.cross) {
+            ++probe.frames_recv;
+            probe.bytes_recv +=
+                static_cast<double>(received.payload.size()) * 4.0;
+          }
           if (hang_at > 0 && messages == hang_at) {
             // The stage silently stops making progress; peers starve and
             // the watchdog reports it. Park until the shutdown broadcast.
@@ -1005,6 +1018,11 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
         result.stats.peak_live_slices[static_cast<std::size_t>(s)];
     stage_metrics.p2p_messages = probe.p2p_messages;
     stage_metrics.p2p_bytes = probe.p2p_bytes;
+    // Same counter names as the dist substrate's wire stats: a cross-thread
+    // message is this substrate's "frame".
+    stage_metrics.frames_sent = probe.p2p_messages;
+    stage_metrics.frames_recv = probe.frames_recv;
+    stage_metrics.bytes_recv = probe.bytes_recv;
     stage_metrics.peak_queue_depth = static_cast<int>(probe.peak_queue);
     if (!arena_stats.empty()) {
       const num::ArenaStats& measured =

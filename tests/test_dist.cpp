@@ -17,8 +17,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <map>
 #include <numeric>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -129,6 +132,9 @@ TEST(WireTest, StatusRoundTrip) {
   status.last_mb = 9;
   status.state = static_cast<int>(WorkerState::Waiting);
   status.injected_delay_seconds = 0.125;
+  status.prev = {11, 12, 1300, 1400, 2, 3};
+  status.next = {21, 22, 2300, 2400, 0, 1};
+  status.flight_recorded = 456;
   Writer w;
   write_status(w, status);
   const std::vector<std::uint8_t> bytes = w.take();
@@ -144,6 +150,19 @@ TEST(WireTest, StatusRoundTrip) {
   EXPECT_EQ(back.last_mb, 9);
   EXPECT_EQ(back.state, static_cast<int>(WorkerState::Waiting));
   EXPECT_EQ(back.injected_delay_seconds, 0.125);
+  EXPECT_EQ(back.prev.frames_out, 11);
+  EXPECT_EQ(back.prev.frames_in, 12);
+  EXPECT_EQ(back.prev.bytes_out, 1300);
+  EXPECT_EQ(back.prev.bytes_in, 1400);
+  EXPECT_EQ(back.prev.crc_rejects, 2);
+  EXPECT_EQ(back.prev.retries, 3);
+  EXPECT_EQ(back.next.frames_out, 21);
+  EXPECT_EQ(back.next.frames_in, 22);
+  EXPECT_EQ(back.next.bytes_out, 2300);
+  EXPECT_EQ(back.next.bytes_in, 2400);
+  EXPECT_EQ(back.next.crc_rejects, 0);
+  EXPECT_EQ(back.next.retries, 1);
+  EXPECT_EQ(back.flight_recorded, 456);
   EXPECT_TRUE(r.done());
 }
 
@@ -692,6 +711,127 @@ TEST(DistObservabilityTest, TraceAndArenaPeaksSurviveTheBoundary) {
     EXPECT_GT(sm.measured_peak_total, 0.0) << "stage " << sm.device;
     EXPECT_FALSE(sm.measured_peak_bytes.empty());
     EXPECT_GT(sm.compute_seconds, 0.0);
+  }
+}
+
+TEST(DistObservabilityTest, KilledWorkerPostmortemCarriesFlightTail) {
+  // A worker SIGKILLed on its first Commit frame flushed its flight
+  // recorder right before that frame (same FIFO control socket), so the
+  // failure postmortem must show the breadcrumbs leading into the commit —
+  // what the dead stage was doing, not just that it died.
+  const int stages = 2, layers = 3, n = 2, m = 2, seed = 1600;
+  const Workload w = make_workload(m, 24, kVocab, 1601);
+
+  Rng rng(static_cast<std::uint64_t>(seed));
+  ProcessPipeline pipe(kDims, kVocab, layers, stages, rng);
+  ProcessOptions options;
+  options.n_slices = n;
+  options.kill.stage = 1;
+  options.kill.phase = KillSpec::Phase::MidCommit;
+  options.recover = false;
+  options.drain_grace = std::chrono::milliseconds(150);
+  fault::FaultReport report;
+  options.report = &report;
+  try {
+    pipe.run_iteration(w.tokens, w.targets, options);
+    FAIL() << "expected PipelineError";
+  } catch (const rt::PipelineError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("stage 1 flight recorder tail"), std::string::npos)
+        << what;
+    // The tail ends at the commit breadcrumb that triggered the kill, with
+    // the recomputation spans before it.
+    EXPECT_NE(what.find("commit"), std::string::npos) << what;
+    EXPECT_NE(what.find("span-begin"), std::string::npos) << what;
+  }
+  // The out-param report carries the same table.
+  EXPECT_NE(report.blocked_table.find("flight recorder tail"),
+            std::string::npos);
+}
+
+TEST(DistObservabilityTest, MergedTraceHasPerProcessPidsAndFlowArrows) {
+  // The merged trace of a 2-process run must keep the workers apart as real
+  // OS processes (per-track pids + process_name metadata) and pair each
+  // cross-process send with its receive via a shared flow id.
+  const int stages = 2, layers = 3, n = 2, m = 2, seed = 1610;
+  const Workload w = make_workload(m, 24, kVocab, 1611);
+
+  Rng rng(static_cast<std::uint64_t>(seed));
+  ProcessPipeline pipe(kDims, kVocab, layers, stages, rng);
+  ProcessOptions options;
+  options.n_slices = n;
+  obs::Recorder recorder;
+  options.recorder = &recorder;
+  pipe.run_iteration(w.tokens, w.targets, options);
+
+  const obs::Trace trace = recorder.snapshot();
+  // Each stage track maps to its worker's real pid; both differ from the
+  // supervisor (pid 0 convention = the recording process).
+  std::set<std::int64_t> worker_pids;
+  for (int s = 0; s < stages; ++s) {
+    const std::int64_t pid = trace.pid_of(s);
+    EXPECT_GT(pid, 0) << "stage " << s;
+    EXPECT_NE(pid, static_cast<std::int64_t>(::getpid()));
+    worker_pids.insert(pid);
+  }
+  EXPECT_EQ(worker_pids.size(), static_cast<std::size_t>(stages));
+  // Process-name metadata for the supervisor and every worker.
+  ASSERT_FALSE(trace.process_names.empty());
+  bool saw_supervisor = false, saw_worker = false;
+  for (const auto& [pid, name] : trace.process_names) {
+    saw_supervisor = saw_supervisor || name == "supervisor";
+    saw_worker = saw_worker || name.find("worker") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_supervisor);
+  EXPECT_TRUE(saw_worker);
+
+  // Flow arrows: every boundary crossing appears as a begin (send side) and
+  // an end (receive side) sharing one deterministic id, on DIFFERENT
+  // tracks. m*n forward + m*n backward crossings on the single boundary.
+  std::map<std::int64_t, std::vector<const obs::TraceFlowPoint*>> by_id;
+  for (const obs::TraceFlowPoint& point : trace.flows) {
+    by_id[point.id].push_back(&point);
+  }
+  int arrows = 0;
+  for (const auto& [id, points] : by_id) {
+    if (points.size() != 2) continue;
+    const obs::TraceFlowPoint* begin = points[0]->begin ? points[0] : points[1];
+    const obs::TraceFlowPoint* end = points[0]->begin ? points[1] : points[0];
+    if (!begin->begin || end->begin) continue;
+    EXPECT_NE(begin->track, end->track) << "flow " << id;
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, 2 * m * n);
+
+  // And the Chrome export renders them: process metadata plus paired
+  // "s"/"f" flow events.
+  const std::string json = obs::chrome_trace_json(trace);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+}
+
+TEST(DistObservabilityTest, PingPongAlignsWorkerClocks) {
+  const int stages = 2, layers = 3, n = 2, m = 2, seed = 1620;
+  const Workload w = make_workload(m, 24, kVocab, 1621);
+
+  Rng rng(static_cast<std::uint64_t>(seed));
+  ProcessPipeline pipe(kDims, kVocab, layers, stages, rng);
+  ProcessOptions options;
+  options.n_slices = n;
+  options.ping_interval = std::chrono::milliseconds(5);
+  const auto dist = pipe.run_iteration(w.tokens, w.targets, options);
+
+  ASSERT_EQ(dist.stats.metrics.stages.size(),
+            static_cast<std::size_t>(stages));
+  for (const obs::StageMetrics& sm : dist.stats.metrics.stages) {
+    // At least the backdated first ping's pong landed on every worker.
+    EXPECT_GE(sm.clock_samples, 1) << "stage " << sm.device;
+    // A real round trip takes time: the error bound is positive, and the
+    // offset estimate is sane (workers forked seconds, not hours, ago).
+    EXPECT_GT(sm.clock_uncertainty_seconds, 0.0) << "stage " << sm.device;
+    EXPECT_LT(std::abs(sm.clock_offset_seconds), 60.0)
+        << "stage " << sm.device;
   }
 }
 

@@ -9,14 +9,19 @@
 # the top-level CMakeLists) gets its own build tree under build-<name>/ and
 # runs the ctest label subsets most likely to surface that bug class:
 #
-#   address    faults, mem, ir, dist  (lifetime/overflow in the fault
-#                                   machinery, arena tracking, the schedule
-#                                   IR and the multi-process socket runtime)
-#   undefined  faults, mem, ir, dist  (integer/shift UB in the same layers)
-#   thread     threads, dist       (the threaded runtime tests; the dist
-#                                   supervisor forks single-threaded workers
-#                                   from the pool-owning parent — exactly the
-#                                   fork/lock interaction TSan should watch)
+#   address    faults, mem, ir, dist, telemetry  (lifetime/overflow in the
+#                                   fault machinery, arena tracking, the
+#                                   schedule IR, the multi-process socket
+#                                   runtime and the flight-recorder/telemetry
+#                                   ring + wire paths)
+#   undefined  faults, mem, ir, dist, telemetry  (integer/shift UB in the
+#                                   same layers)
+#   thread     threads, dist, telemetry  (the threaded runtime tests; the
+#                                   dist supervisor forks single-threaded
+#                                   workers from the pool-owning parent —
+#                                   exactly the fork/lock interaction TSan
+#                                   should watch — and the telemetry
+#                                   overhead gate runs both substrates)
 #
 # clang-tidy, when installed, runs over src/ir and src/analysis with the
 # plain tree's compile database; when absent the pass is skipped with a
@@ -50,9 +55,9 @@ if [[ "$FAST" -eq 0 ]]; then
     echo "== ${san} sanitizer build =="
     build_tree "build-${san}" -DSLIMPIPE_SANITIZE="${san}"
     if [[ "$san" == "thread" ]]; then
-      labels="threads|dist"
+      labels="threads|dist|telemetry"
     else
-      labels="faults|mem|ir|dist"
+      labels="faults|mem|ir|dist|telemetry"
     fi
     echo "== ${san} sanitizer tests (-L '${labels}') =="
     ctest --test-dir "build-${san}" --output-on-failure -j "$JOBS" \

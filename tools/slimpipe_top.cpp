@@ -1,0 +1,116 @@
+// slimpipe_top — live terminal view of a running multi-process pipeline.
+//
+//   slimpipe_top SNAPSHOT.json              refresh until the run ends
+//   slimpipe_top --once SNAPSHOT.json       render one frame and exit
+//   slimpipe_top --interval-ms N SNAPSHOT.json
+//
+// The supervisor (ProcessOptions::telemetry_json_path) atomically rewrites
+// the snapshot file on its telemetry cadence; this tool polls it, renders
+// obs::render_top and exits when the snapshot's phase turns "done" or
+// "failed" (exit code 0 / 1). A missing file is retried — start slimpipe_top
+// before or after the run, in any order.
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/json.hpp"
+#include "src/obs/telemetry.hpp"
+
+using namespace slim;
+
+namespace {
+
+void usage() {
+  std::printf(R"(usage: slimpipe_top [--once] [--interval-ms N] SNAPSHOT.json
+
+Tails the live-telemetry JSON snapshot written by the multi-process
+supervisor and renders a per-stage terminal view. Exits 0 when the run
+finishes ("done"), 1 when it fails ("failed").
+)");
+}
+
+/// Reads the whole file; false when it does not exist (yet) or is unreadable.
+bool slurp(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool once = false;
+  int interval_ms = 250;
+  std::string path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--help" || args[i] == "-h") {
+      usage();
+      return 0;
+    } else if (args[i] == "--once") {
+      once = true;
+    } else if (args[i] == "--interval-ms" && i + 1 < args.size()) {
+      interval_ms = std::atoi(args[++i].c_str());
+      if (interval_ms < 1) interval_ms = 1;
+    } else if (path.empty()) {
+      path = args[i];
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+
+  bool seen = false;
+  for (;;) {
+    std::string text;
+    obs::LiveSnapshot snap;
+    bool have = false;
+    if (slurp(path, &text)) {
+      obs::JsonValue value;
+      std::string error;
+      // The supervisor writes via rename, so a parse failure means a stale
+      // or foreign file, not a torn write — report it once and keep polling.
+      if (obs::JsonValue::parse(text, &value, &error) &&
+          obs::snapshot_from_json(value, &snap)) {
+        have = true;
+      } else if (once) {
+        std::fprintf(stderr, "%s: not a live-telemetry snapshot\n",
+                     path.c_str());
+        return 2;
+      }
+    } else if (once) {
+      std::fprintf(stderr, "%s: cannot read\n", path.c_str());
+      return 2;
+    }
+
+    if (have) {
+      if (seen) {
+        std::printf("\033[H\033[J");  // cursor home + clear: one live frame
+      }
+      std::fputs(obs::render_top(snap).c_str(), stdout);
+      std::fflush(stdout);
+      seen = true;
+      if (snap.phase == "done") return 0;
+      if (snap.phase == "failed") return 1;
+    } else if (!seen) {
+      std::fprintf(stderr, "waiting for %s ...\r", path.c_str());
+      std::fflush(stderr);
+    }
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}

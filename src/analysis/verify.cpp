@@ -477,7 +477,14 @@ VerifyResult verify_ir(const ScheduleIR& table, const sched::PipelineSpec& spec,
 
   // ---- verify-memory-cert: static ledger replay + certificate ----
   {
-    const std::int64_t slice_len = spec.slice_len();
+    // Per-microbatch slice boundaries: each row's footprint uses its own
+    // slice's token count; the certificate unit is the mean per-slice token
+    // count so "slice units" stay comparable across elastic layouts.
+    const std::vector<core::SliceLayout> slice_layouts =
+        spec.resolved_layouts();
+    const double mean_slice_tokens =
+        static_cast<double>(spec.total_tokens()) /
+        (static_cast<double>(spec.m) * static_cast<double>(spec.n));
     const double nonkv_per_token = model::act_bytes_per_token_layer_no_kv(
         spec.cfg, spec.shard, spec.policy);
     const bool kv_stored =
@@ -502,7 +509,7 @@ VerifyResult verify_ir(const ScheduleIR& table, const sched::PipelineSpec& spec,
     cert.device_peak.assign(static_cast<std::size_t>(spec.p), 0.0);
     for (int stage = 0; stage < num_stages; ++stage) {
       const double tokens =
-          static_cast<double>(slice_len * spec.layers_of_stage(stage));
+          mean_slice_tokens * static_cast<double>(spec.layers_of_stage(stage));
       StageCertificate& sc = cert.stages[static_cast<std::size_t>(stage)];
       sc.stage = stage;
       sc.device = layout.device_of(stage);
@@ -520,7 +527,9 @@ VerifyResult verify_ir(const ScheduleIR& table, const sched::PipelineSpec& spec,
         if (row.stage < 0 || row.stage >= num_stages) continue;
         const std::size_t stage = static_cast<std::size_t>(row.stage);
         const double tokens = static_cast<double>(
-            slice_len * spec.layers_of_stage(row.stage));
+            slice_layouts[static_cast<std::size_t>(row.microbatch)].len(
+                row.slice) *
+            spec.layers_of_stage(row.stage));
         const double act = nonkv_per_token * tokens;
         const double kv = kv_per_token * tokens;
         double d_act = 0.0, d_kv = 0.0;  // kActivation / kKvCache ledgers

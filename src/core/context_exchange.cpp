@@ -18,6 +18,14 @@ ExchangePlanner::ExchangePlanner(const sched::PipelineSpec& spec)
       cost_(spec.cfg, spec.gpu, sched::pipeline_topology(spec), spec.shard,
             spec.policy, spec.cp_mode) {
   SLIM_CHECK(spec.n % spec.p == 0, "context exchange expects n % p == 0");
+  // The closed-form rebalancing below books every slice at slice_len =
+  // seq / n tokens with kv_prefix = slice * slice_len. That is exact for
+  // uniform layouts and a sub-slice approximation for the *derived*
+  // token-uniform family (remainder slices differ by one alignment unit —
+  // noise at this planner's byte/time scale). Custom elastic layouts must
+  // not reach this planner (PipelineSpec::validate rejects them).
+  SLIM_CHECK(spec.layouts.empty() || spec.uniform_slices(),
+             "context exchange requires uniform equal-length slices");
   const double shard_div =
       static_cast<double>(spec.shard.t) * static_cast<double>(spec.shard.c);
   q_bytes_ = static_cast<double>(slice_len_) *

@@ -1,0 +1,151 @@
+#pragma once
+
+// Explicit per-microbatch slice boundaries.
+//
+// SlimPipe splits every microbatch's sequence into n slices. The original
+// substrates all derived the split as `slice_len = seq / n`, which silently
+// truncates tokens whenever seq % n != 0 and cannot express skewed
+// document-length mixes. A SliceLayout makes the boundaries explicit: a
+// monotone vector bounds[0..n] with bounds[0] == 0 and bounds[n] == seq,
+// where slice i covers tokens [bounds[i], bounds[i+1]). The KV prefix of
+// slice i is exactly bounds[i], so causal-attention cost accounting works
+// unchanged for any layout.
+//
+// Header-only so every layer (cost model, simulator, scheduler, runtimes,
+// numerics) can share the type without new link edges.
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/logging.hpp"
+
+namespace slim::core {
+
+class SliceLayout {
+ public:
+  /// Degenerate empty layout (0 slices over 0 tokens).
+  SliceLayout() : bounds_{0} {}
+
+  /// Takes explicit boundaries; must be strictly increasing from 0.
+  explicit SliceLayout(std::vector<std::int64_t> bounds)
+      : bounds_(std::move(bounds)) {
+    SLIM_CHECK(!bounds_.empty() && bounds_.front() == 0,
+               "slice layout must start at token 0");
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+      SLIM_CHECK(bounds_[i] > bounds_[i - 1],
+                 "slice boundaries must be strictly increasing");
+    }
+  }
+
+  /// Builds from per-slice lengths (each >= 1).
+  static SliceLayout from_lens(const std::vector<std::int64_t>& lens) {
+    std::vector<std::int64_t> bounds(lens.size() + 1, 0);
+    for (std::size_t i = 0; i < lens.size(); ++i) {
+      SLIM_CHECK(lens[i] >= 1, "slice lengths must be positive");
+      bounds[i + 1] = bounds[i] + lens[i];
+    }
+    return SliceLayout(std::move(bounds));
+  }
+
+  /// Token-balanced layout: seq tokens into n slices in multiples of
+  /// `align` tokens (context-parallel block size), distributing the
+  /// remainder to the first slices Megatron-style — no token is dropped.
+  static SliceLayout uniform(std::int64_t seq, int n, std::int64_t align = 1) {
+    SLIM_CHECK(n >= 1 && align >= 1, "uniform layout needs n, align >= 1");
+    SLIM_CHECK(seq % align == 0, "sequence not divisible into aligned blocks");
+    const std::int64_t units = seq / align;
+    SLIM_CHECK(units >= n, "fewer aligned token blocks than slices");
+    const std::int64_t base = units / n;
+    const std::int64_t rem = units % n;
+    std::vector<std::int64_t> bounds(static_cast<std::size_t>(n) + 1, 0);
+    for (int i = 0; i < n; ++i) {
+      bounds[i + 1] = bounds[i] + (base + (i < rem ? 1 : 0)) * align;
+    }
+    return SliceLayout(std::move(bounds));
+  }
+
+  /// Cost-balanced layout. `prefix_cost(x)` is the cumulative cost of the
+  /// first x tokens and must be non-decreasing in x; because per-slice
+  /// causal-attention cost is exactly a difference of such a prefix
+  /// function (slice [a,b) costs F(b) - F(a)), equalizing slice costs
+  /// reduces to inverting F at equally spaced targets. Boundaries are
+  /// snapped to multiples of `align` and each slice keeps >= 1 block.
+  static SliceLayout balanced(
+      std::int64_t seq, int n,
+      const std::function<double(std::int64_t)>& prefix_cost,
+      std::int64_t align = 1) {
+    SLIM_CHECK(n >= 1 && align >= 1, "balanced layout needs n, align >= 1");
+    SLIM_CHECK(seq % align == 0, "sequence not divisible into aligned blocks");
+    const std::int64_t units = seq / align;
+    SLIM_CHECK(units >= n, "fewer aligned token blocks than slices");
+    const double total = prefix_cost(seq);
+    std::vector<std::int64_t> bounds(static_cast<std::size_t>(n) + 1, 0);
+    bounds[n] = seq;
+    for (int i = 1; i < n; ++i) {
+      const double target =
+          total * static_cast<double>(i) / static_cast<double>(n);
+      // Smallest feasible boundary (in align units) whose prefix cost
+      // reaches the target; clamped so every later slice keeps one block.
+      std::int64_t lo = bounds[i - 1] / align + 1;
+      std::int64_t hi = units - (n - i);
+      while (lo < hi) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        if (prefix_cost(mid * align) < target) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      bounds[i] = lo * align;
+    }
+    return SliceLayout(std::move(bounds));
+  }
+
+  int slices() const { return static_cast<int>(bounds_.size()) - 1; }
+  std::int64_t seq() const { return bounds_.back(); }
+  std::int64_t begin(int slice) const { return bounds_[slice]; }
+  std::int64_t end(int slice) const { return bounds_[slice + 1]; }
+  std::int64_t len(int slice) const {
+    return bounds_[slice + 1] - bounds_[slice];
+  }
+  /// Causal KV prefix attended by slice `slice` (tokens before it).
+  std::int64_t kv_prefix(int slice) const { return bounds_[slice]; }
+
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+
+  std::vector<std::int64_t> lens() const {
+    std::vector<std::int64_t> out(static_cast<std::size_t>(slices()));
+    for (int i = 0; i < slices(); ++i) out[i] = len(i);
+    return out;
+  }
+
+  /// True when all slices have the same length.
+  bool is_uniform() const {
+    for (int i = 1; i < slices(); ++i) {
+      if (len(i) != len(0)) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const SliceLayout& other) const = default;
+
+  std::string describe() const {
+    std::ostringstream os;
+    os << seq() << "=[";
+    for (int i = 0; i < slices(); ++i) {
+      if (i) os << ' ';
+      os << len(i);
+    }
+    os << ']';
+    return os.str();
+  }
+
+ private:
+  std::vector<std::int64_t> bounds_;
+};
+
+}  // namespace slim::core

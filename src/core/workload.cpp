@@ -1,0 +1,110 @@
+#include "src/core/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/logging.hpp"
+#include "src/util/rng.hpp"
+
+namespace slim::core {
+
+namespace {
+
+std::int64_t clamp_len(double x, std::int64_t lo, std::int64_t hi) {
+  const auto rounded = static_cast<std::int64_t>(std::llround(x));
+  return std::clamp(rounded, lo, hi);
+}
+
+// Bounded Pareto inverse CDF on [lo, hi] with exponent alpha: heavy mass
+// near lo, polynomial tail out to hi.
+std::int64_t sample_bounded_pareto(double u, std::int64_t lo, std::int64_t hi,
+                                   double alpha) {
+  const double la = std::pow(static_cast<double>(lo), alpha);
+  const double ha = std::pow(static_cast<double>(hi), alpha);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  return clamp_len(x, lo, hi);
+}
+
+}  // namespace
+
+std::vector<std::int64_t> sample_doc_lengths(const WorkloadSpec& spec,
+                                             int count) {
+  SLIM_CHECK(count >= 0, "negative document count");
+  SLIM_CHECK(spec.min_len >= 1 && spec.max_len >= spec.min_len,
+             "workload needs 1 <= min_len <= max_len");
+  SLIM_CHECK(spec.zipf_exponent > 0.0, "zipf exponent must be positive");
+  SLIM_CHECK(spec.long_fraction >= 0.0 && spec.long_fraction <= 1.0,
+             "long_fraction must be a probability");
+  Rng rng(spec.seed);
+  std::vector<std::int64_t> lens(static_cast<std::size_t>(count));
+  for (auto& len : lens) {
+    switch (spec.mix) {
+      case DocMix::Uniform:
+        len = spec.min_len +
+              static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(
+                  spec.max_len - spec.min_len + 1)));
+        break;
+      case DocMix::Zipf:
+        len = sample_bounded_pareto(rng.next_double(), spec.min_len,
+                                    spec.max_len, spec.zipf_exponent);
+        break;
+      case DocMix::Bimodal:
+        len = rng.next_double() < spec.long_fraction ? spec.max_len
+                                                     : spec.min_len;
+        break;
+    }
+  }
+  return lens;
+}
+
+std::vector<std::int64_t> PackedBatch::mb_tokens() const {
+  std::vector<std::int64_t> out;
+  out.reserve(microbatches.size());
+  for (const auto& mb : microbatches) out.push_back(mb.tokens);
+  return out;
+}
+
+PackedBatch pack_documents(const std::vector<std::int64_t>& doc_lens, int m,
+                           std::int64_t capacity) {
+  SLIM_CHECK(m >= 1 && capacity >= 1, "packing needs m, capacity >= 1");
+  // Longest-first for LPT balance; stable on the original order so equal
+  // lengths pack deterministically.
+  std::vector<std::size_t> order(doc_lens.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&doc_lens](std::size_t a, std::size_t b) {
+                     return doc_lens[a] > doc_lens[b];
+                   });
+  PackedBatch batch;
+  batch.microbatches.resize(static_cast<std::size_t>(m));
+  for (const std::size_t doc : order) {
+    const std::int64_t len = doc_lens[doc];
+    SLIM_CHECK(len >= 1, "document lengths must be positive");
+    PackedMicrobatch* best = nullptr;
+    for (auto& mb : batch.microbatches) {
+      if (mb.tokens + len > capacity) continue;
+      if (best == nullptr || mb.tokens < best->tokens) best = &mb;
+    }
+    if (best == nullptr) {
+      batch.dropped.push_back(len);
+      continue;
+    }
+    best->doc_lens.push_back(len);
+    best->tokens += len;
+    batch.packed_tokens += len;
+  }
+  return batch;
+}
+
+std::vector<SliceLayout> uniform_layouts(
+    const std::vector<std::int64_t>& mb_tokens, int n, std::int64_t align) {
+  std::vector<SliceLayout> out;
+  out.reserve(mb_tokens.size());
+  for (const std::int64_t tokens : mb_tokens) {
+    out.push_back(SliceLayout::uniform(tokens, n, align));
+  }
+  return out;
+}
+
+}  // namespace slim::core

@@ -1,0 +1,68 @@
+#pragma once
+
+// Synthetic long-context workload generation (ROADMAP open item 2).
+//
+// Real long-context traffic is heavily length-skewed (InfiniPipe,
+// PAPERS.md): most documents are short, a heavy tail is very long. This
+// module samples document-length mixes (uniform / zipf / bimodal), packs
+// documents into fixed-capacity microbatches, and derives per-microbatch
+// SliceLayouts — the inputs the elastic pipeline substrates consume.
+// Everything is deterministic in the seed (util::Rng).
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/slice_layout.hpp"
+
+namespace slim::core {
+
+enum class DocMix : std::uint8_t {
+  Uniform,  // lengths uniform in [min_len, max_len]
+  Zipf,     // bounded power law: mass near min_len, heavy tail to max_len
+  Bimodal,  // min_len with probability 1 - long_fraction, else max_len
+};
+
+struct WorkloadSpec {
+  DocMix mix = DocMix::Uniform;
+  std::int64_t min_len = 1;    // shortest document, tokens
+  std::int64_t max_len = 1;    // longest document, tokens
+  double zipf_exponent = 1.2;  // power-law exponent (Zipf mix)
+  double long_fraction = 0.1;  // probability of a max_len doc (Bimodal mix)
+  std::uint64_t seed = 0;
+};
+
+/// Samples `count` document lengths from the mix. Deterministic in
+/// spec.seed across platforms.
+std::vector<std::int64_t> sample_doc_lengths(const WorkloadSpec& spec,
+                                             int count);
+
+struct PackedMicrobatch {
+  std::vector<std::int64_t> doc_lens;  // packed documents, in pack order
+  std::int64_t tokens = 0;             // sum of doc_lens
+};
+
+/// Documents packed into m microbatches. Conservation invariant:
+/// packed_tokens + sum(dropped) == sum(input lengths).
+struct PackedBatch {
+  std::vector<PackedMicrobatch> microbatches;  // exactly m entries
+  std::vector<std::int64_t> dropped;           // docs that fit nowhere
+  std::int64_t packed_tokens = 0;
+
+  std::vector<std::int64_t> mb_tokens() const;
+};
+
+/// Packs documents into m microbatches of at most `capacity` tokens each:
+/// longest document first into the least-loaded microbatch that still has
+/// room (LPT), so microbatch totals come out balanced. Documents longer
+/// than the capacity, or arriving after every microbatch is full, land in
+/// `dropped` — never silently truncated.
+PackedBatch pack_documents(const std::vector<std::int64_t>& doc_lens, int m,
+                           std::int64_t capacity);
+
+/// Token-uniform layouts for per-microbatch totals: n slices each,
+/// boundaries in multiples of `align`, remainder to the first slices.
+std::vector<SliceLayout> uniform_layouts(
+    const std::vector<std::int64_t>& mb_tokens, int n,
+    std::int64_t align = 1);
+
+}  // namespace slim::core

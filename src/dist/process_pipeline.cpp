@@ -153,8 +153,32 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
   const int m = static_cast<int>(tokens.size());
   const int p = model_.stages;
   SLIM_CHECK(m >= 1 && targets.size() == tokens.size(), "bad microbatches");
-  const std::int64_t seq = static_cast<std::int64_t>(tokens[0].size());
-  SLIM_CHECK(n_slices >= 1 && seq % n_slices == 0, "uneven slices");
+  SLIM_CHECK(n_slices >= 1, "need at least one slice");
+  // Per-microbatch slice boundaries: explicit from the caller, or derived
+  // token-uniform (remainder to the first slices) — seq % n_slices != 0 and
+  // ragged microbatch lengths are both legal, every token is trained on.
+  std::vector<core::SliceLayout> layouts = options.layouts;
+  if (layouts.empty()) {
+    for (int mb = 0; mb < m; ++mb) {
+      layouts.push_back(core::SliceLayout::uniform(
+          static_cast<std::int64_t>(tokens[static_cast<std::size_t>(mb)].size()),
+          n_slices));
+    }
+  }
+  SLIM_CHECK(static_cast<int>(layouts.size()) == m,
+             "need one slice layout per microbatch");
+  for (int mb = 0; mb < m; ++mb) {
+    const core::SliceLayout& layout = layouts[static_cast<std::size_t>(mb)];
+    SLIM_CHECK(layout.slices() == n_slices,
+               "layout slice count mismatches n_slices");
+    SLIM_CHECK(layout.seq() ==
+                   static_cast<std::int64_t>(
+                       tokens[static_cast<std::size_t>(mb)].size()),
+               "slice layout does not cover its microbatch");
+    SLIM_CHECK(tokens[static_cast<std::size_t>(mb)].size() ==
+                   targets[static_cast<std::size_t>(mb)].size(),
+               "targets size mismatch");
+  }
   const fault::FaultPlan* plan = options.faults;
   if (plan != nullptr) {
     const std::vector<fault::PlanIssue> issues = fault::validate(*plan, p);
@@ -316,6 +340,7 @@ ProcessPipeline::Result ProcessPipeline::run_iteration(
       cfg.model = &model_;
       cfg.stage = s;
       cfg.n_slices = n_slices;
+      cfg.layouts = layouts;
       cfg.mbs = mbs;
       cfg.tokens = &tokens;
       cfg.targets = &targets;

@@ -58,6 +58,11 @@ struct KillSpec {
 /// Knobs of one multi-process iteration.
 struct ProcessOptions {
   int n_slices = 1;
+  /// Per-microbatch slice boundaries (same contract as
+  /// rt::RunOptions::layouts): one layout per microbatch, each with
+  /// n_slices slices covering that microbatch's token count. Empty derives
+  /// a token-uniform layout per microbatch, remainder to the first slices.
+  std::vector<core::SliceLayout> layouts;
   /// Worker-side starvation watchdog (same semantics as the threaded
   /// runtime's): a stage blocked in receive for this long sends a
   /// structured Error frame. Defaults from SLIMPIPE_STARVATION_TIMEOUT_MS.

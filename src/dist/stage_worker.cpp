@@ -279,13 +279,24 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
   const int n_slices = cfg.n_slices;
   const int mk = static_cast<int>(cfg.mbs.size());
   const int m_total = static_cast<int>(cfg.tokens->size());
-  const std::int64_t seq =
-      static_cast<std::int64_t>((*cfg.tokens)[0].size());
-  const std::int64_t slice_len = seq / n_slices;
   const bool is_last = stage == p - 1;
-  const float slice_weight =
-      static_cast<float>(slice_len) /
-      (static_cast<float>(seq) * static_cast<float>(m_total));
+  SLIM_CHECK(static_cast<int>(cfg.layouts.size()) == m_total,
+             "worker needs one slice layout per microbatch");
+  auto pos_of = [&cfg](int mb, int slice) {
+    return cfg.layouts[static_cast<std::size_t>(mb)].begin(slice);
+  };
+  auto len_of = [&cfg](int mb, int slice) {
+    return cfg.layouts[static_cast<std::size_t>(mb)].len(slice);
+  };
+  // Slice (mb, s) contributes len / (seq_mb * m) of the iteration loss.
+  // Must stay the identical float expression the threaded runtime uses —
+  // the backend-equivalence tests compare gradients bit for bit.
+  auto slice_weight_of = [&cfg, m_total](int mb, int slice) {
+    const core::SliceLayout& layout =
+        cfg.layouts[static_cast<std::size_t>(mb)];
+    return static_cast<float>(layout.len(slice)) /
+           (static_cast<float>(layout.seq()) * static_cast<float>(m_total));
+  };
 
   std::vector<int> rank_of(static_cast<std::size_t>(m_total), -1);
   for (int r = 0; r < mk; ++r) {
@@ -313,10 +324,10 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
   }
 
   auto slice_targets_of = [&](int mb, int slice) {
-    const std::int64_t pos = static_cast<std::int64_t>(slice) * slice_len;
+    const std::int64_t pos = pos_of(mb, slice);
     const auto& t = (*cfg.targets)[static_cast<std::size_t>(mb)];
     return std::vector<std::int64_t>(t.begin() + pos,
-                                     t.begin() + pos + slice_len);
+                                     t.begin() + pos + len_of(mb, slice));
   };
 
   std::vector<num::Tensor> head_grad(
@@ -542,8 +553,8 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
         ++done_f;
         ++live;
         ctx.peak_live = std::max(ctx.peak_live, live);
-        const std::int64_t pos =
-            static_cast<std::int64_t>(msg.slice) * slice_len;
+        const std::int64_t pos = pos_of(msg.mb, msg.slice);
+        const std::int64_t slice_len = len_of(msg.mb, msg.slice);
         num::Tensor x;
         if (stage == 0) {
           x = num::Tensor(slice_len, model.dims.hidden);
@@ -575,6 +586,7 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
           }
           break;
         }
+        const float slice_weight = slice_weight_of(msg.mb, msg.slice);
         const num::Tensor hidden = num::rmsnorm(x, model.final_norm);
         const num::Tensor logits = num::matmul_nt(hidden, model.embedding);
         num::CeResult ce =
@@ -628,8 +640,8 @@ int run_stage_worker_impl(const WorkerConfig& cfg, WorkerContext& ctx) {
           }
         } else {
           const auto& ids = (*cfg.tokens)[static_cast<std::size_t>(msg.mb)];
-          const std::int64_t pos =
-              static_cast<std::int64_t>(msg.slice) * slice_len;
+          const std::int64_t pos = pos_of(msg.mb, msg.slice);
+          const std::int64_t slice_len = len_of(msg.mb, msg.slice);
           for (std::int64_t r = 0; r < slice_len; ++r) {
             const std::int64_t id = ids[static_cast<std::size_t>(pos + r)];
             for (std::int64_t c = 0; c < model.dims.hidden; ++c) {

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/slice_layout.hpp"
 #include "src/runtime/pipeline_model.hpp"
 
 namespace slim::dist {
@@ -67,6 +68,11 @@ struct WorkerConfig {
   const rt::PipelineModel* model = nullptr;
   int stage = 0;
   int n_slices = 1;
+  /// Per-microbatch slice boundaries, one layout per *iteration* microbatch
+  /// (indexed by global microbatch id, not attempt rank), each with
+  /// n_slices slices covering that microbatch's token count. Inherited
+  /// through fork-time memory like the model — never serialized.
+  std::vector<core::SliceLayout> layouts;
   /// Supervisor respawn attempt index; folded into cross-process flow-arrow
   /// ids (wire_flow_id) so replayed sends never collide with originals.
   int attempt = 0;

@@ -244,6 +244,16 @@ sched::PipelineSpec apply_header(const ScheduleIR& ir,
   base.policy = ir.policy;
   base.cp_mode = ir.cp_mode;
   base.max_inflight_units = ir.max_inflight_units;
+  // Slice layouts are a workload knob (kept outside the IR); drop any that
+  // no longer match the overlaid schedule shape rather than keep a stale,
+  // inconsistent set.
+  if (!base.layouts.empty()) {
+    bool consistent = static_cast<int>(base.layouts.size()) == base.m;
+    for (const auto& layout : base.layouts) {
+      consistent = consistent && layout.slices() == base.n;
+    }
+    if (!consistent) base.layouts.clear();
+  }
   return base;
 }
 

@@ -8,6 +8,21 @@
 
 namespace slim::mem {
 
+double mean_slice_unit_bytes(
+    const std::vector<core::SliceLayout>& layouts,
+    const std::function<double(std::int64_t)>& bytes_of_len) {
+  SLIM_CHECK(!layouts.empty(), "mean_slice_unit_bytes over no layouts");
+  double total = 0.0;
+  std::int64_t slices = 0;
+  for (const core::SliceLayout& layout : layouts) {
+    for (int s = 0; s < layout.slices(); ++s) {
+      total += bytes_of_len(layout.len(s));
+      ++slices;
+    }
+  }
+  return total / static_cast<double>(slices);
+}
+
 bool ReconcileReport::ok() const {
   for (const ReconcileEntry& entry : entries) {
     if (!entry.ok) return false;

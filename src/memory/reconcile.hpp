@@ -11,12 +11,24 @@
 // agree within a small tolerance (sub-slice bookkeeping differences — e.g.
 // rounding, small per-slice metadata — stay below one unit).
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "src/core/slice_layout.hpp"
 #include "src/memory/tracker.hpp"
 
 namespace slim::mem {
+
+/// Mean per-slice unit bytes across every (microbatch, slice) of `layouts`:
+/// evaluates `bytes_of_len` at each slice length and averages. With uniform
+/// layouts this collapses to bytes_of_len(slice_len); with variable-length
+/// slices it is the normalizer that keeps peak-over-unit quotients in slice
+/// units (the simulator's memory certificate applies the same mean-token
+/// normalization on the analytical side).
+double mean_slice_unit_bytes(
+    const std::vector<core::SliceLayout>& layouts,
+    const std::function<double(std::int64_t)>& bytes_of_len);
 
 /// One measured per-category peak from a runtime arena sink, paired with
 /// the per-slice unit sizes that convert both sides into slice units.

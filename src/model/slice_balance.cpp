@@ -1,0 +1,25 @@
+#include "src/model/slice_balance.hpp"
+
+namespace slim::model {
+
+core::SliceLayout balanced_layout(const CostModel& cost, std::int64_t seq,
+                                  int n, std::int64_t align) {
+  const auto prefix_flops = [&cost](std::int64_t x) {
+    return cost.attn_block_flops(static_cast<double>(x),
+                                 CostModel::causal_kv_equiv(x, 0));
+  };
+  return core::SliceLayout::balanced(seq, n, prefix_flops, align);
+}
+
+std::vector<core::SliceLayout> balanced_layouts(
+    const CostModel& cost, const std::vector<std::int64_t>& mb_seqs, int n,
+    std::int64_t align) {
+  std::vector<core::SliceLayout> out;
+  out.reserve(mb_seqs.size());
+  for (const std::int64_t seq : mb_seqs) {
+    out.push_back(balanced_layout(cost, seq, n, align));
+  }
+  return out;
+}
+
+}  // namespace slim::model

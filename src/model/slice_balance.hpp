@@ -1,0 +1,34 @@
+#pragma once
+
+// Cost-balanced slice boundaries.
+//
+// Uniform token splits are cost-imbalanced under causal attention: slice i
+// of a uniform layout attends kv_prefix = i * slice_len keys, so later
+// slices cost more (paper §4.2.1). The balanced solver equalizes per-slice
+// causal-attention FLOPs instead of token counts, reusing the cost model's
+// attn_block_flops. Because the causal-attention FLOPs of slice [a, b) are
+// exactly F(b) - F(a) for the prefix function
+//     F(x) = attn_block_flops(x, causal_kv_equiv(x, 0))
+// (the full causal triangle over the first x tokens), equalizing slice
+// costs reduces to inverting F at equally spaced targets — early slices
+// come out longer, later slices shorter.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/slice_layout.hpp"
+#include "src/model/flops.hpp"
+
+namespace slim::model {
+
+/// Boundaries for one sequence: n slices of (approximately) equal causal
+/// attention FLOPs, snapped to multiples of `align` tokens.
+core::SliceLayout balanced_layout(const CostModel& cost, std::int64_t seq,
+                                  int n, std::int64_t align = 1);
+
+/// Balanced layouts for a batch of per-microbatch sequence lengths.
+std::vector<core::SliceLayout> balanced_layouts(
+    const CostModel& cost, const std::vector<std::int64_t>& mb_seqs, int n,
+    std::int64_t align = 1);
+
+}  // namespace slim::model

@@ -509,12 +509,22 @@ double TinyModel::train_step(const std::vector<std::int64_t>& tokens,
                              const std::vector<std::int64_t>& targets,
                              int n_slices, Grads& grads, int vocab_shards) {
   const std::int64_t seq = static_cast<std::int64_t>(tokens.size());
+  SLIM_CHECK(n_slices >= 1 && seq >= n_slices,
+             "need at least one token per slice");
+  return train_step(tokens, targets, core::SliceLayout::uniform(seq, n_slices),
+                    grads, vocab_shards);
+}
+
+double TinyModel::train_step(const std::vector<std::int64_t>& tokens,
+                             const std::vector<std::int64_t>& targets,
+                             const core::SliceLayout& layout, Grads& grads,
+                             int vocab_shards) {
+  const std::int64_t seq = static_cast<std::int64_t>(tokens.size());
+  const int n_slices = layout.slices();
   SLIM_CHECK(targets.size() == tokens.size(), "targets size mismatch");
-  SLIM_CHECK(n_slices >= 1 && seq % n_slices == 0,
-             "sequence must split into uniform slices");
+  SLIM_CHECK(layout.seq() == seq, "slice layout does not cover the sequence");
   SLIM_CHECK(vocab_shards >= 1 && vocab_ % vocab_shards == 0,
              "vocabulary must split uniformly");
-  const std::int64_t slice_len = seq / n_slices;
   for (Layer& layer : layers_) layer.reset();
 
   struct SliceState {
@@ -525,12 +535,13 @@ double TinyModel::train_step(const std::vector<std::int64_t>& tokens,
   };
   std::vector<SliceState> states(static_cast<std::size_t>(n_slices));
   double total_loss = 0.0;
-  const float slice_weight =
-      static_cast<float>(slice_len) / static_cast<float>(seq);
 
   // ---- forward, slice by slice ----
   for (int si = 0; si < n_slices; ++si) {
-    const std::int64_t pos = si * slice_len;
+    const std::int64_t pos = layout.begin(si);
+    const std::int64_t slice_len = layout.len(si);
+    const float slice_weight =
+        static_cast<float>(slice_len) / static_cast<float>(seq);
     SliceState& st = states[static_cast<std::size_t>(si)];
     st.token_ids.assign(tokens.begin() + pos, tokens.begin() + pos + slice_len);
     Tensor x(slice_len, dims_.hidden);

@@ -16,6 +16,7 @@
 
 #include <optional>
 
+#include "src/core/slice_layout.hpp"
 #include "src/numerics/arena.hpp"
 #include "src/numerics/attention.hpp"
 #include "src/numerics/moe.hpp"
@@ -168,11 +169,20 @@ class TinyModel {
   };
 
   /// One full forward+backward over `tokens` (next-token targets) split
-  /// into `n_slices` uniform slices, forward in order, backward LIFO.
-  /// Returns the mean loss; accumulates gradients.
+  /// into `n_slices` token-uniform slices (remainder to the first slices —
+  /// seq % n_slices need not be 0 and every token is trained on), forward
+  /// in order, backward LIFO. Returns the mean loss; accumulates gradients.
   double train_step(const std::vector<std::int64_t>& tokens,
                     const std::vector<std::int64_t>& targets, int n_slices,
                     Grads& grads, int vocab_shards = 1);
+
+  /// Explicit-boundary form: `layout` carries the per-slice boundaries
+  /// (layout.seq() must equal tokens.size()), e.g. cost-balanced ones from
+  /// model::balanced_layout.
+  double train_step(const std::vector<std::int64_t>& tokens,
+                    const std::vector<std::int64_t>& targets,
+                    const core::SliceLayout& layout, Grads& grads,
+                    int vocab_shards = 1);
 
   Grads zero_grads() const;
 

@@ -55,8 +55,11 @@ std::string validate(const HybridConfig& cfg,
   if (cfg.scheme == core::Scheme::SlimPipe ||
       cfg.scheme == core::Scheme::TeraPipe) {
     if (cfg.n % cfg.p != 0) err << "n must be a multiple of p; ";
-    if (seq % cfg.n != 0) err << "sequence not divisible into n slices; ";
-    else if ((seq / cfg.n) % cfg.c != 0) err << "slice not divisible by CP; ";
+    // seq % n != 0 is legal (the slice layout spreads the remainder); each
+    // slice only needs at least one CP-aligned block of tokens.
+    if (seq % cfg.c == 0 && seq / cfg.c < cfg.n) {
+      err << "fewer CP-aligned token blocks than slices; ";
+    }
   } else if (cfg.n != 1) {
     err << "only SlimPipe/TeraPipe slice sequences; ";
   }

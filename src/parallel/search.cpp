@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/core/slice.hpp"
+#include "src/core/slice_layout.hpp"
 #include "src/model/flops.hpp"
 #include "src/sched/builder.hpp"
 #include "src/util/logging.hpp"
@@ -121,7 +122,8 @@ double estimate_peak_memory(const HybridConfig& cfg,
                                            : 0.5;
   const double states =
       model::model_state_bytes(model, shard, layers_local, vocab_frac, cfg.d);
-  const std::int64_t loss_tokens = vocab_parallel ? seq / cfg.n : seq;
+  const std::int64_t loss_tokens =
+      vocab_parallel ? (seq + cfg.n - 1) / cfg.n : seq;
   const std::int64_t vshards = vocab_parallel ? cfg.p : 1;
   const double logits =
       model::logits_bytes(model, shard, loss_tokens, vshards) *
@@ -149,28 +151,33 @@ double estimate_iteration_time(const HybridConfig& cfg,
   const std::int64_t layers_dev = model.layers / cfg.p;
   const std::int64_t layers_pass =
       std::max<std::int64_t>(1, model.layers / (cfg.p * cfg.v));
-  const std::int64_t slice_len = seq / cfg.n;
   // Per-microbatch compute on one device, accounting for slicing: short
   // slices pay per-pass overheads and the small-kernel derate, which is
   // exactly the trade-off of Figure 11 — the estimate must see it or the
-  // ranking drifts toward pathological n.
-  const double passes = static_cast<double>(cfg.n) * cfg.v;
-  double per_mb = passes * (cost.nonattn_time(layers_pass, slice_len, true) +
-                            cost.nonattn_time(layers_pass, slice_len, false));
-  for (int i = 0; i < cfg.n; ++i) {
-    const double kv = model::CostModel::causal_kv_equiv(
-        slice_len, static_cast<std::int64_t>(i) * slice_len);
-    per_mb += static_cast<double>(layers_dev) *
-              (cost.attn_block_time(static_cast<double>(slice_len), kv, true) +
-               cost.attn_block_time(static_cast<double>(slice_len), kv, false));
-  }
-  per_mb += passes * cost.recompute_time(layers_pass, slice_len,
-                                         (cfg.n / 2) * slice_len);
+  // ranking drifts toward pathological n. Slice lengths come from the
+  // token-uniform layout (remainder spread over the first slices), so
+  // seq % n != 0 is costed exactly rather than truncated.
+  const core::SliceLayout layout = core::SliceLayout::uniform(
+      seq, static_cast<int>(cfg.n),
+      (cfg.c > 1 && seq % cfg.c == 0 && seq / cfg.c >= cfg.n) ? cfg.c : 1);
   const bool vocab_parallel = cfg.scheme == core::Scheme::SlimPipe;
   const std::int64_t vshards = vocab_parallel ? cfg.p : 1;
-  per_mb += static_cast<double>(cfg.n) *
-            (cost.vocab_forward_time(slice_len, vshards) +
-             cost.vocab_backward_time(slice_len, vshards));
+  const std::int64_t mean_recompute_prefix = (cfg.n / 2) * (seq / cfg.n);
+  double per_mb = 0.0;
+  for (int i = 0; i < cfg.n; ++i) {
+    const std::int64_t len = layout.len(i);
+    per_mb += static_cast<double>(cfg.v) *
+              (cost.nonattn_time(layers_pass, len, true) +
+               cost.nonattn_time(layers_pass, len, false));
+    const double kv = model::CostModel::causal_kv_equiv(len, layout.begin(i));
+    per_mb += static_cast<double>(layers_dev) *
+              (cost.attn_block_time(static_cast<double>(len), kv, true) +
+               cost.attn_block_time(static_cast<double>(len), kv, false));
+    per_mb += static_cast<double>(cfg.v) *
+              cost.recompute_time(layers_pass, len, mean_recompute_prefix);
+    per_mb += cost.vocab_forward_time(len, vshards) +
+              cost.vocab_backward_time(len, vshards);
+  }
   double compute = static_cast<double>(m) * per_mb;
   // Offload exposure (rough): traffic beyond what the compute window hides.
   if (cfg.offload_ratio > 0.0) {
@@ -238,7 +245,9 @@ SearchResult grid_search(const model::TransformerConfig& model,
             n_options.clear();
             for (std::int64_t mult : {1, 2, 4, 8}) {
               const std::int64_t n = p * mult;
-              if (n <= seq && seq % n == 0) {
+              // seq % n != 0 is fine (remainder-spreading layout); each
+              // slice just needs one CP-aligned token block.
+              if (seq % c == 0 && seq / c >= n) {
                 n_options.push_back(static_cast<int>(n));
               }
             }

@@ -60,7 +60,6 @@ ReferenceResult reference_run(
     const std::vector<std::vector<std::int64_t>>& tokens,
     const std::vector<std::vector<std::int64_t>>& targets) {
   const int m = static_cast<int>(tokens.size());
-  const std::int64_t seq = static_cast<std::int64_t>(tokens[0].size());
 
   ReferenceResult result;
   result.grads.embedding = num::Tensor(model.vocab, model.dims.hidden);
@@ -73,6 +72,9 @@ ReferenceResult reference_run(
   for (const auto& w : model.layer_weights) layers.emplace_back(model.dims, w);
 
   for (int mb = 0; mb < m; ++mb) {
+    // Microbatches may carry different sequence lengths (elastic layouts).
+    const std::int64_t seq =
+        static_cast<std::int64_t>(tokens[static_cast<std::size_t>(mb)].size());
     num::Tensor x(seq, model.dims.hidden);
     for (std::int64_t r = 0; r < seq; ++r) {
       const std::int64_t id = tokens[static_cast<std::size_t>(mb)]

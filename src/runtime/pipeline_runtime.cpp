@@ -12,6 +12,7 @@
 
 #include "src/numerics/cross_entropy.hpp"
 #include "src/numerics/norm_act.hpp"
+#include "src/util/env.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/table.hpp"
 #include "src/util/thread_pool.hpp"
@@ -162,9 +163,38 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
   const bool vocab_parallel = options.vocab_parallel;
   const int m = static_cast<int>(tokens.size());
   SLIM_CHECK(m >= 1 && targets.size() == tokens.size(), "bad microbatches");
-  const std::int64_t seq = static_cast<std::int64_t>(tokens[0].size());
-  SLIM_CHECK(n_slices >= 1 && seq % n_slices == 0, "uneven slices");
-  const std::int64_t slice_len = seq / n_slices;
+  SLIM_CHECK(n_slices >= 1, "n_slices must be >= 1");
+  // Per-microbatch slice boundaries. The default derives a token-uniform
+  // layout per microbatch (remainder to the first slices), so uneven
+  // seq % n_slices and variable-length microbatches both train on every
+  // token instead of silently truncating.
+  std::vector<core::SliceLayout> layouts = options.layouts;
+  if (layouts.empty()) {
+    layouts.reserve(static_cast<std::size_t>(m));
+    for (int mb = 0; mb < m; ++mb) {
+      layouts.push_back(core::SliceLayout::uniform(
+          static_cast<std::int64_t>(tokens[static_cast<std::size_t>(mb)].size()),
+          n_slices));
+    }
+  }
+  SLIM_CHECK(static_cast<int>(layouts.size()) == m,
+             "one slice layout per microbatch required");
+  for (int mb = 0; mb < m; ++mb) {
+    const auto& layout = layouts[static_cast<std::size_t>(mb)];
+    SLIM_CHECK(layout.slices() == n_slices &&
+                   layout.seq() == static_cast<std::int64_t>(
+                                       tokens[static_cast<std::size_t>(mb)].size()),
+               "slice layout does not match its microbatch");
+    SLIM_CHECK(tokens[static_cast<std::size_t>(mb)].size() ==
+                   targets[static_cast<std::size_t>(mb)].size(),
+               "tokens/targets length mismatch");
+  }
+  auto len_of = [&layouts](int mb, int slice) {
+    return layouts[static_cast<std::size_t>(mb)].len(slice);
+  };
+  auto pos_of = [&layouts](int mb, int slice) {
+    return layouts[static_cast<std::size_t>(mb)].begin(slice);
+  };
   const int p = stages();
   SLIM_CHECK(!vocab_parallel || model_.vocab % p == 0,
              "vocabulary must split evenly across stages");
@@ -223,8 +253,14 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
                                  model_.dims.hidden);
   }
   double total_loss = 0.0;
-  const float slice_weight = static_cast<float>(slice_len) /
-                             (static_cast<float>(seq) * static_cast<float>(m));
+  // Slice (mb, s) contributes len / (seq_mb * m) of the iteration loss.
+  // The dist backend evaluates the identical float expression so the two
+  // substrates stay bit-identical.
+  auto slice_weight_of = [&layouts, m](int mb, int slice) {
+    const auto& layout = layouts[static_cast<std::size_t>(mb)];
+    return static_cast<float>(layout.len(slice)) /
+           (static_cast<float>(layout.seq()) * static_cast<float>(m));
+  };
   fault::FaultReport iteration_report;
 
   // All (stage, microbatch) staged contributions of the iteration — the
@@ -394,10 +430,11 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
       int done_f = 0, done_b = 0, done_vw = 0, done_vg = 0;
 
       auto slice_targets_of = [&](int mb, int slice) {
-        const std::int64_t pos = static_cast<std::int64_t>(slice) * slice_len;
+        const std::int64_t pos = pos_of(mb, slice);
         return std::vector<std::int64_t>(
             targets[static_cast<std::size_t>(mb)].begin() + pos,
-            targets[static_cast<std::size_t>(mb)].begin() + pos + slice_len);
+            targets[static_cast<std::size_t>(mb)].begin() + pos +
+                len_of(mb, slice));
       };
 
       // Runtime fault hooks, armed only on the injecting attempt.
@@ -575,8 +612,8 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
             status.live.store(live);
             peak_live = std::max(peak_live, live);
             status.peak_live.store(peak_live);
-            const std::int64_t pos =
-                static_cast<std::int64_t>(msg.slice) * slice_len;
+            const std::int64_t pos = pos_of(msg.mb, msg.slice);
+            const std::int64_t slice_len = len_of(msg.mb, msg.slice);
             num::Tensor x;
             if (msg.stage == 0) {
               x = num::Tensor(slice_len, model_.dims.hidden);
@@ -609,6 +646,7 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
                             hidden});
               }
             } else {
+              const float slice_weight = slice_weight_of(msg.mb, msg.slice);
               const num::Tensor logits = num::matmul_nt(hidden, model_.embedding);
               num::CeResult ce = num::cross_entropy(
                   logits, slice_targets_of(msg.mb, msg.slice));
@@ -665,8 +703,8 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
                        msg.stage - 1, std::move(dx)});
             } else {
               const auto& ids = tokens[static_cast<std::size_t>(msg.mb)];
-              const std::int64_t pos =
-                  static_cast<std::int64_t>(msg.slice) * slice_len;
+              const std::int64_t pos = pos_of(msg.mb, msg.slice);
+              const std::int64_t slice_len = len_of(msg.mb, msg.slice);
               for (std::int64_t r = 0; r < slice_len; ++r) {
                 const std::int64_t id = ids[static_cast<std::size_t>(pos + r)];
                 for (std::int64_t c = 0; c < model_.dims.hidden; ++c) {
@@ -694,6 +732,7 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
           case Message::Kind::VocabWork: {
             ++done_vw;
             // Shard pass 1: local logits -> per-token scalar statistics.
+            const std::int64_t slice_len = len_of(msg.mb, msg.slice);
             const num::Tensor& hidden = msg.payload;
             const num::Tensor logits = num::matmul_nt(hidden, head_shard);
             const num::CeShardStats st = num::ce_shard_stats(
@@ -711,6 +750,7 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
           }
           case Message::Kind::VocabStats: {
             // Last stage: synchronize the scalars across shards.
+            const std::int64_t slice_len = len_of(msg.mb, msg.slice);
             const std::size_t i = idx(msg.mb, msg.slice);
             num::CeShardStats& acc = stats_acc[i];
             if (stats_seen[i] == 0) {
@@ -749,7 +789,8 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
                 global.at(1, t) = acc.sum_exp[ti];
               }
               mb_staged.loss += loss / static_cast<double>(slice_len) *
-                                slice_weight * static_cast<double>(m);
+                                slice_weight_of(msg.mb, msg.slice) *
+                                static_cast<double>(m);
               for (int s = 0; s < p; ++s) {
                 send_to(s, {Message::Kind::VocabGlobal, msg.mb, msg.slice, 0,
                             0, global});
@@ -761,6 +802,8 @@ ThreadedPipeline::Result ThreadedPipeline::run_iteration(
             ++done_vg;
             // Shard pass 2: gradient of the shard's logits from the global
             // statistics; return the partial d(hidden).
+            const std::int64_t slice_len = len_of(msg.mb, msg.slice);
+            const float slice_weight = slice_weight_of(msg.mb, msg.slice);
             const std::size_t i = idx(msg.mb, msg.slice);
             const num::Tensor hidden = std::move(shard_hidden[i]);
             const num::Tensor logits = num::matmul_nt(hidden, head_shard);
@@ -1058,12 +1101,8 @@ ThreadedPipeline::Result ThreadedPipeline::run_reference(
 }
 
 std::chrono::milliseconds default_starvation_timeout() {
-  const char* env = std::getenv("SLIMPIPE_STARVATION_TIMEOUT_MS");
-  if (env != nullptr && env[0] != '\0') {
-    const long value = std::strtol(env, nullptr, 10);
-    if (value >= 1) return std::chrono::milliseconds(value);
-  }
-  return std::chrono::milliseconds(30000);
+  return std::chrono::milliseconds(
+      util::env_int_or("SLIMPIPE_STARVATION_TIMEOUT_MS", 30000, 1));
 }
 
 }  // namespace slim::rt

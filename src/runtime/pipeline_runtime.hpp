@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/slice_layout.hpp"
 #include "src/fault/fault_plan.hpp"
 #include "src/numerics/transformer_block.hpp"
 #include "src/obs/metrics.hpp"
@@ -83,6 +84,12 @@ class PipelineError : public std::runtime_error {
 struct RunOptions {
   int n_slices = 1;
   bool vocab_parallel = false;
+  /// Per-microbatch slice boundaries (one layout per microbatch, each with
+  /// n_slices slices summing to that microbatch's token count). Empty
+  /// derives a token-uniform layout per microbatch, remainder to the first
+  /// slices — seq % n_slices != 0 and per-microbatch sequence lengths are
+  /// both legal and every token is trained on.
+  std::vector<core::SliceLayout> layouts;
   /// Starvation probe: a stage blocked in receive for this long collects
   /// the per-stage blocked-on table and fails the iteration (the
   /// watchdog). Short values let fault tests probe deadlocks quickly.

@@ -121,7 +121,17 @@ BuildOutput compile(const PipelineSpec& spec,
 
   const StageLayout layout = spec.stage_layout();
   const int num_stages = layout.num_stages();
-  const std::int64_t slice_len = spec.slice_len();
+  // Per-microbatch slice boundaries; uniform specs resolve to the
+  // remainder-distributed token split, so every token is costed.
+  const std::vector<core::SliceLayout> slice_layouts = spec.resolved_layouts();
+  auto len_of = [&](const Pass& pass) {
+    return slice_layouts[static_cast<std::size_t>(pass.microbatch)].len(
+        pass.slice);
+  };
+  auto prefix_of = [&](const Pass& pass) {
+    return slice_layouts[static_cast<std::size_t>(pass.microbatch)].kv_prefix(
+        pass.slice);
+  };
   const sim::Topology topo = pipeline_topology(spec);
   const model::CostModel cost(spec.cfg, spec.gpu, topo, spec.shard,
                               spec.policy, spec.cp_mode);
@@ -134,14 +144,15 @@ BuildOutput compile(const PipelineSpec& spec,
   const double kv_per_token =
       kv_stored ? model::kv_bytes_per_token_layer(spec.cfg, spec.shard) : 0.0;
   const int kv_category = spec.retain_kv ? mem::kKvCache : mem::kActivation;
-  // Per-stage activation bytes (stages may hold uneven layer counts).
-  auto act_slice_of = [&](int stage) {
+  // Per-stage activation bytes (stages may hold uneven layer counts and
+  // slices carry per-layout token counts).
+  auto act_slice_of = [&](int stage, std::int64_t len) {
     return nonkv_per_token *
-           static_cast<double>(slice_len * spec.layers_of_stage(stage));
+           static_cast<double>(len * spec.layers_of_stage(stage));
   };
-  auto kv_slice_of = [&](int stage) {
+  auto kv_slice_of = [&](int stage, std::int64_t len) {
     return kv_per_token *
-           static_cast<double>(slice_len * spec.layers_of_stage(stage));
+           static_cast<double>(len * spec.layers_of_stage(stage));
   };
   const double wkeep = model::wgrad_kept_fraction(spec.cfg, spec.policy);
 
@@ -164,18 +175,24 @@ BuildOutput compile(const PipelineSpec& spec,
     return static_cast<double>(total);
   };
 
-  // Vocabulary handling.
+  // Vocabulary handling (per-slice token counts).
   const std::int64_t vocab_shards = spec.vocab_parallel ? spec.p : 1;
-  const double logits_slice = model::logits_bytes(
-      spec.cfg, spec.shard, slice_len, vocab_shards);
-  const double vf_time = cost.vocab_forward_time(slice_len, vocab_shards);
-  const double vb_time = cost.vocab_backward_time(slice_len, vocab_shards);
+  auto logits_slice_of = [&](std::int64_t len) {
+    return model::logits_bytes(spec.cfg, spec.shard, len, vocab_shards);
+  };
+  auto vf_time_of = [&](std::int64_t len) {
+    return cost.vocab_forward_time(len, vocab_shards);
+  };
+  auto vb_time_of = [&](std::int64_t len) {
+    return cost.vocab_backward_time(len, vocab_shards);
+  };
   // With vocabulary parallelism the hidden states are broadcast: each
   // device receives one boundary activation per slice.
-  const double vp_broadcast_time =
-      spec.vocab_parallel && spec.p > 1
-          ? topo.p2p_time(0, spec.p - 1, cost.boundary_bytes(slice_len))
-          : 0.0;
+  auto vp_broadcast_time_of = [&](std::int64_t len) {
+    return spec.vocab_parallel && spec.p > 1
+               ? topo.p2p_time(0, spec.p - 1, cost.boundary_bytes(len))
+               : 0.0;
+  };
 
   auto output = BuildOutput{};
   output.graph = std::make_unique<sim::OpGraph>(topo);
@@ -208,8 +225,11 @@ BuildOutput compile(const PipelineSpec& spec,
     for (const Pass& pass : programs[static_cast<std::size_t>(dev)]) {
       const int stage = layout.stage_of(dev, pass.chunk);
       const std::int64_t stage_layers = spec.layers_of_stage(stage);
-      const std::int64_t kv_prefix =
-          static_cast<std::int64_t>(pass.slice) * slice_len;
+      const std::int64_t slice_len = len_of(pass);
+      const std::int64_t kv_prefix = prefix_of(pass);
+      const double logits_slice = logits_slice_of(slice_len);
+      const double vf_time = vf_time_of(slice_len);
+      const double vb_time = vb_time_of(slice_len);
       ExchangeOracle::PassPlan plan;
       const bool sliced_attn_pass =
           exchange != nullptr && (pass.type == PassType::Forward ||
@@ -232,7 +252,7 @@ BuildOutput compile(const PipelineSpec& spec,
           duration = cost.nonattn_time(stage_layers, slice_len, true) + attn;
           if (stage == 0) duration += cost.embedding_time(slice_len);
           if (spec.vocab_parallel) {
-            duration += vf_time + vp_broadcast_time;
+            duration += vf_time + vp_broadcast_time_of(slice_len);
           }
           break;
         }
@@ -291,8 +311,8 @@ BuildOutput compile(const PipelineSpec& spec,
       // and a prefetch restores it ahead of the backward — the transfer
       // windows and PCIe contention are simulated, not assumed (paper 6.5,
       // "pipeline-parallelism-aware offloading").
-      const double act_full = act_slice_of(stage);
-      const double kv_full = kv_slice_of(stage);
+      const double act_full = act_slice_of(stage, slice_len);
+      const double kv_full = kv_slice_of(stage, slice_len);
       const double act_host = spec.offload.host_bytes(act_full);
       const double kv_host = spec.offload.host_bytes(kv_full);
       const bool offloading = spec.offload.enabled() &&
@@ -409,10 +429,10 @@ BuildOutput compile(const PipelineSpec& spec,
     return it == index.end() ? sim::kInvalidOp : it->second;
   };
 
-  const double boundary = cost.boundary_bytes(slice_len);
   for (int dev = 0; dev < spec.p; ++dev) {
     for (const Pass& pass : programs[static_cast<std::size_t>(dev)]) {
       const int stage = layout.stage_of(dev, pass.chunk);
+      const double boundary = cost.boundary_bytes(len_of(pass));
       const sim::OpId op = find(pass.type, pass.microbatch, pass.slice, stage);
       SLIM_CHECK(op != sim::kInvalidOp, "op disappeared from index");
 
@@ -568,8 +588,13 @@ ScheduleResult assemble_result(const PipelineSpec& spec,
   result.bubble_fraction = exec.mean_bubble_fraction(spec.p);
   const double gpus = static_cast<double>(spec.shard.t * spec.shard.c) *
                       static_cast<double>(spec.p);
-  result.mfu = cost.model_flops_iteration(spec.seq, spec.m) /
-               (exec.makespan * gpus * spec.gpu.peak_flops);
+  // Sum per-microbatch model FLOPs so elastic (variable-length) iterations
+  // get the right basis; uniform specs reduce to model_flops_iteration.
+  double model_flops = 0.0;
+  for (int mb = 0; mb < spec.m; ++mb) {
+    model_flops += 3.0 * cost.model_flops_forward(spec.seq_of(mb));
+  }
+  result.mfu = model_flops / (exec.makespan * gpus * spec.gpu.peak_flops);
   result.peak_memory = memory.max_peak();
   result.first_device_memory = memory.devices.front().peak;
   result.last_device_memory = memory.devices.back().peak;

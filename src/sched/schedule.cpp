@@ -48,6 +48,45 @@ int StageLayout::stage_of(int device, int chunk) const {
   return 0;
 }
 
+core::SliceLayout PipelineSpec::layout_of(int mb) const {
+  if (layouts.empty()) {
+    return core::SliceLayout::uniform(seq, n, shard.c > 1 ? shard.c : 1);
+  }
+  SLIM_CHECK(mb >= 0 && mb < static_cast<int>(layouts.size()),
+             "microbatch out of range");
+  return layouts[mb];
+}
+
+std::vector<core::SliceLayout> PipelineSpec::resolved_layouts() const {
+  if (!layouts.empty()) return layouts;
+  return std::vector<core::SliceLayout>(static_cast<std::size_t>(m),
+                                        layout_of(0));
+}
+
+std::int64_t PipelineSpec::seq_of(int mb) const {
+  return layouts.empty() ? seq : layouts[mb].seq();
+}
+
+std::int64_t PipelineSpec::total_tokens() const {
+  if (layouts.empty()) return seq * static_cast<std::int64_t>(m);
+  std::int64_t total = 0;
+  for (const auto& layout : layouts) total += layout.seq();
+  return total;
+}
+
+bool PipelineSpec::uniform_slices() const {
+  if (layouts.empty()) {
+    const std::int64_t align = shard.c > 1 ? shard.c : 1;
+    if (seq <= 0 || n < 1 || seq % align != 0) return false;
+    const std::int64_t units = seq / align;
+    return units >= n && units % n == 0;
+  }
+  for (const auto& layout : layouts) {
+    if (!(layout == layouts.front()) || !layout.is_uniform()) return false;
+  }
+  return true;
+}
+
 std::string PipelineSpec::validate() const {
   std::ostringstream err;
   if (p < 1 || v < 1 || m < 1 || n < 1) {
@@ -66,17 +105,47 @@ std::string PipelineSpec::validate() const {
   if (seq <= 0) {
     err << "sequence length must be positive; ";
   }
-  if (n > 1 && seq % n != 0) {
-    err << "sequence not divisible into n slices; ";
-  }
   if (n > 1 && n % p != 0) {
-    err << "n must be a multiple of p (uniform slicing, paper 4.1.2); ";
+    err << "n must be a multiple of p (slice rounds, paper 4.1.2); ";
   }
-  if (slice_len() > 0 && slice_len() % shard.c != 0 && shard.c > 1) {
-    err << "slice length not divisible by context parallel size; ";
+  const std::int64_t align = shard.c > 1 ? shard.c : 1;
+  if (layouts.empty()) {
+    if (seq > 0 && seq % align != 0) {
+      err << "sequence not divisible by context parallel size; ";
+    } else if (seq > 0 && seq / align < n) {
+      err << "fewer CP-aligned token blocks than slices; ";
+    }
+  } else {
+    if (static_cast<int>(layouts.size()) != m) {
+      err << "slice layouts must cover all m microbatches; ";
+    }
+    for (const auto& layout : layouts) {
+      if (layout.slices() != n) {
+        err << "every slice layout must have exactly n slices; ";
+        break;
+      }
+    }
+    if (align > 1) {
+      for (const auto& layout : layouts) {
+        bool aligned = true;
+        for (int i = 0; i < layout.slices(); ++i) {
+          aligned = aligned && layout.len(i) % align == 0;
+        }
+        if (!aligned) {
+          err << "slice lengths not divisible by context parallel size; ";
+          break;
+        }
+      }
+    }
   }
   if (context_exchange && n == 1) {
     err << "context exchange requires slicing (n > 1); ";
+  }
+  // Derived (empty) layouts stay legal with the exchange planner even when
+  // seq % n != 0 — the remainder slices differ by one alignment unit, which
+  // the planner's closed-form model absorbs. Custom layouts must be uniform.
+  if (context_exchange && n > 1 && !layouts.empty() && !uniform_slices()) {
+    err << "context exchange requires uniform equal-length slices; ";
   }
   return err.str();
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/slice_layout.hpp"
 #include "src/memory/offload.hpp"
 #include "src/model/activation.hpp"
 #include "src/model/flops.hpp"
@@ -74,6 +75,13 @@ struct PipelineSpec {
   int n = 1;                                // slices per sequence
   int m = 1;                                // microbatches per iteration
 
+  /// Per-microbatch slice boundaries for elastic (variable-length)
+  /// workloads: exactly m layouts of n slices each when set. Empty means
+  /// every microbatch carries the full `seq` tokens split token-uniformly
+  /// into n slices (remainder to the first slices, Megatron-style, in
+  /// blocks of shard.c tokens) — no token is ever dropped.
+  std::vector<core::SliceLayout> layouts;
+
   bool retain_kv = false;                   // keep K/V of earlier slices
   bool vocab_parallel = false;              // distribute the output layer
   bool context_exchange = false;            // SlimPipe attention rebalance
@@ -107,8 +115,25 @@ struct PipelineSpec {
         cfg.layers - base * static_cast<std::int64_t>(p * v);
     return base + (stage < rem ? 1 : 0);
   }
+  /// Uniform slice length; only meaningful when uniform_slices() holds
+  /// (seq % n == 0 and no explicit layouts).
   std::int64_t slice_len() const { return seq / n; }
   StageLayout stage_layout() const { return StageLayout{p, v, layout}; }
+
+  // ---- elastic slice layouts ----
+
+  bool elastic() const { return !layouts.empty(); }
+  /// Layout of microbatch mb; resolves the empty-layouts default.
+  core::SliceLayout layout_of(int mb) const;
+  /// All m layouts with the default resolved.
+  std::vector<core::SliceLayout> resolved_layouts() const;
+  /// Tokens in microbatch mb (== seq when layouts is empty).
+  std::int64_t seq_of(int mb) const;
+  /// Tokens across the whole iteration (all m microbatches).
+  std::int64_t total_tokens() const;
+  /// True when every microbatch resolves to identical equal-length slices
+  /// — the shape context exchange's closed-form rebalancing assumes.
+  bool uniform_slices() const;
 
   /// Validates divisibility and structural constraints; returns an error
   /// message or empty string when valid.

@@ -1,0 +1,25 @@
+#pragma once
+
+// Strict environment-variable parsing.
+//
+// The runtimes take tuning knobs from SLIMPIPE_* environment variables.
+// `strtol(env, nullptr, 10)` silently accepted trailing garbage
+// (SLIMPIPE_THREADS=8abc parsed as 8) and silently fell back on
+// non-numeric values; these helpers reject anything that is not a whole
+// base-10 integer and warn once per read so misconfigurations are loud.
+
+#include <optional>
+
+namespace slim::util {
+
+/// Parses a base-10 signed integer occupying the entire string. Returns
+/// nullopt for null/empty input, trailing garbage, or out-of-range values.
+std::optional<long long> parse_env_int(const char* text);
+
+/// Reads environment variable `name`. Unset returns `fallback` silently;
+/// set-but-malformed (trailing garbage, empty, out of range) or below
+/// `min_value` logs a one-line warning and returns `fallback`.
+long long env_int_or(const char* name, long long fallback,
+                     long long min_value);
+
+}  // namespace slim::util

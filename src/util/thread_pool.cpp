@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <cstdlib>
 #include <exception>
 #include <new>
 
+#include "src/util/env.hpp"
 #include "src/util/logging.hpp"
 
 namespace slim::util {
@@ -20,13 +20,9 @@ thread_local bool t_in_pool_worker = false;
 thread_local int t_kernel_cap = 0;
 
 int threads_from_env() {
-  const char* env = std::getenv("SLIMPIPE_THREADS");
-  if (env != nullptr && env[0] != '\0') {
-    const long value = std::strtol(env, nullptr, 10);
-    if (value >= 1) return static_cast<int>(value);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  const int fallback = hw == 0 ? 1 : static_cast<int>(hw);
+  return static_cast<int>(env_int_or("SLIMPIPE_THREADS", fallback, 1));
 }
 
 }  // namespace

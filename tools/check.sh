@@ -55,9 +55,9 @@ if [[ "$FAST" -eq 0 ]]; then
     echo "== ${san} sanitizer build =="
     build_tree "build-${san}" -DSLIMPIPE_SANITIZE="${san}"
     if [[ "$san" == "thread" ]]; then
-      labels="threads|dist|telemetry"
+      labels="threads|dist|telemetry|elastic"
     else
-      labels="faults|mem|ir|dist|telemetry"
+      labels="faults|mem|ir|dist|telemetry|elastic"
     fi
     echo "== ${san} sanitizer tests (-L '${labels}') =="
     ctest --test-dir "build-${san}" --output-on-failure -j "$JOBS" \
